@@ -1,0 +1,323 @@
+package tycos_test
+
+// One benchmark per paper table/figure. Each benchmark exercises a bounded,
+// representative slice of the corresponding experiment so `go test -bench=.`
+// stays tractable; the full tables and figures are regenerated with
+// `go run ./cmd/benchgen` (see EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"tycos"
+	"tycos/internal/core"
+	"tycos/internal/dataset"
+	"tycos/internal/matrixprofile"
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/synth"
+	"tycos/internal/window"
+)
+
+// table1Cell builds the linear-relation cell of Table 1 at the given delay.
+func table1Cell(b *testing.B, delay int) (series.Pair, synth.Segment) {
+	b.Helper()
+	comp, err := synth.Compose([]synth.Relation{synth.RelLinear}, 150, 70, delay, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return comp.Pair, comp.Segments[0]
+}
+
+// BenchmarkTable1Detection measures one TYCOS detection run on a Table 1
+// cell (linear relation, delay 0 and 60).
+func BenchmarkTable1Detection(b *testing.B) {
+	for _, delay := range []int{0, 60} {
+		pair, seg := table1Cell(b, delay)
+		tdMax := seg.Delay + 10
+		if tdMax < 20 {
+			tdMax = 20
+		}
+		opts := tycos.Options{
+			SMin: 20, SMax: seg.End - seg.Start + 61, TDMax: tdMax,
+			Sigma: 0.25, Delta: 5, MaxIdle: tdMax/5 + 6,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       tycos.VariantLMN, Seed: 1,
+		}
+		b.Run(map[int]string{0: "aligned", 60: "delayed"}[delay], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3RealData measures the C7-style search on a short simulated
+// city feed.
+func BenchmarkTable3RealData(b *testing.B) {
+	c := dataset.SimulateCity(dataset.CityOptions{Days: 3, Seed: 1})
+	p, err := series.NewPair(c.Precipitation, c.Collisions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := tycos.Options{
+		SMin: 12, SMax: 96, TDMax: 30, Sigma: 0.15,
+		Jitter: 0.01, SignificanceLevel: 3,
+		Normalization: tycos.NormMaxEntropy,
+		Variant:       tycos.VariantLMN, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tycos.Search(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Accuracy measures the TYCOS_LN-vs-TYCOS_L similarity
+// computation of the accuracy evaluation on one size.
+func BenchmarkTable4Accuracy(b *testing.B) {
+	comp, err := synth.CorrelatedAR(800, 3, 60, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := tycos.Options{
+		SMin: 10, SMax: 120, TDMax: 8, Sigma: 0.3,
+		Normalization: tycos.NormMaxEntropy, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Variant = tycos.VariantL
+		l, err := tycos.Search(comp.Pair, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Variant = tycos.VariantLN
+		ln, err := tycos.Search(comp.Pair, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = window.Similarity(l.Windows, ln.Windows)
+	}
+}
+
+// BenchmarkFig9Variants measures each search variant on the same workload —
+// the per-variant runtime comparison of Fig. 9.
+func BenchmarkFig9Variants(b *testing.B) {
+	comp, err := synth.CorrelatedAR(1200, 2, 100, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []tycos.Variant{tycos.VariantL, tycos.VariantLN, tycos.VariantLM, tycos.VariantLMN} {
+		opts := tycos.Options{
+			SMin: 10, SMax: 150, TDMax: 10, Sigma: 0.3,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       v, Seed: 1,
+		}
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(comp.Pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Baselines measures Brute Force, MatrixProfile and TYCOS_LMN
+// on the same workload — the cross-method runtime comparison of Fig. 10.
+func BenchmarkFig10Baselines(b *testing.B) {
+	comp, err := synth.CorrelatedAR(400, 2, 50, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := tycos.Options{
+		SMin: 10, SMax: 40, TDMax: 3, Sigma: 0.3,
+		Normalization: tycos.NormMaxEntropy, Seed: 1,
+	}
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tycos.BruteForce(comp.Pair, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("matrixprofile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, m := range []int{25, 50, 100} {
+				if _, err := matrixprofile.ABJoin(comp.Pair.X.Values, comp.Pair.Y.Values, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("tycos_lmn", func(b *testing.B) {
+		o := opts
+		o.Variant = tycos.VariantLMN
+		for i := 0; i < b.N; i++ {
+			if _, err := tycos.Search(comp.Pair, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig11NoiseThreshold measures TYCOS_LN at two ε/σ ratios (the
+// pruning-aggressiveness sweep of Fig. 11/12).
+func BenchmarkFig11NoiseThreshold(b *testing.B) {
+	comp, err := synth.CorrelatedAR(1200, 3, 100, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ratio := range []float64{0.05, 0.25, 0.9} {
+		opts := tycos.Options{
+			SMin: 10, SMax: 150, TDMax: 6, Sigma: 0.3,
+			Epsilon:       0.3 * ratio,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       tycos.VariantLN, Seed: 1,
+		}
+		b.Run(map[float64]string{0.05: "ratio_0.05", 0.25: "ratio_0.25", 0.9: "ratio_0.90"}[ratio], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(comp.Pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Sigma measures the search at two correlation thresholds (the
+// σ sweep of Fig. 13a).
+func BenchmarkFig13Sigma(b *testing.B) {
+	c := dataset.SimulateCity(dataset.CityOptions{Days: 3, Seed: 1})
+	p, err := series.NewPair(c.Precipitation, c.Collisions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sigma := range []float64{0.2, 0.6} {
+		opts := tycos.Options{
+			SMin: 6, SMax: 96, TDMax: 30, Sigma: sigma,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       tycos.VariantLMN, Seed: 1,
+		}
+		b.Run(map[float64]string{0.2: "sigma_0.2", 0.6: "sigma_0.6"}[sigma], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13SMaxTDMax measures the convergence sweeps of Fig. 13b/c at
+// their extreme parameter values.
+func BenchmarkFig13SMaxTDMax(b *testing.B) {
+	c := dataset.SimulateCity(dataset.CityOptions{Days: 3, Seed: 1})
+	p, err := series.NewPair(c.Snow, c.Collisions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		sMax  int
+		tdMax int
+	}{
+		{"smax_30_td_12", 30, 12},
+		{"smax_96_td_12", 96, 12},
+		{"smax_96_td_48", 96, 48},
+	}
+	for _, cse := range cases {
+		opts := tycos.Options{
+			SMin: 6, SMax: cse.sMax, TDMax: cse.tdMax, Sigma: 0.25,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       tycos.VariantLMN, Seed: 1,
+		}
+		b.Run(cse.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLAHCHistory is the L_h ablation: how the history length affects
+// search cost on a fixed workload (DESIGN.md, "Design choices worth
+// ablating").
+func BenchmarkLAHCHistory(b *testing.B) {
+	comp, err := synth.CorrelatedAR(800, 2, 80, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hist := range []int{4, 16, 64} {
+		opts := tycos.Options{
+			SMin: 10, SMax: 120, TDMax: 6, Sigma: 0.3,
+			HistoryLength: hist,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       tycos.VariantLMN, Seed: 1,
+		}
+		b.Run(map[int]string{4: "Lh_4", 16: "Lh_16", 64: "Lh_64"}[hist], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(comp.Pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchSpace measures the Lemma 1 exact feasible-window count.
+func BenchmarkSearchSpace(b *testing.B) {
+	opts := tycos.Options{SMin: 20, SMax: 400, TDMax: 20}
+	for i := 0; i < b.N; i++ {
+		if n := tycos.SearchSpaceSize(9000, opts); n <= 0 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+// BenchmarkKSGWindow measures a single KSG estimation at the window sizes
+// the search visits most (the inner loop of everything).
+func BenchmarkKSGWindow(b *testing.B) {
+	comp, err := synth.CorrelatedAR(4096, 1, 512, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []int{32, 128, 512} {
+		xs := comp.Pair.X.Values[:m]
+		ys := comp.Pair.Y.Values[:m]
+		b.Run(map[int]string{32: "m_32", 128: "m_128", 512: "m_512"}[m], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.EstimateMI(xs, ys, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNoiseTheoryAblation contrasts TYCOS_LM with and without the noise
+// theory on identical data — isolating the Section 6 contribution.
+func BenchmarkNoiseTheoryAblation(b *testing.B) {
+	comp, err := synth.CorrelatedAR(1500, 3, 120, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []core.Variant{core.VariantLM, core.VariantLMN} {
+		opts := tycos.Options{
+			SMin: 10, SMax: 180, TDMax: 6, Sigma: 0.3,
+			Normalization: mi.NormMaxEntropy,
+			Variant:       v, Seed: 1,
+		}
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(comp.Pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

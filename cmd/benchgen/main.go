@@ -1,0 +1,94 @@
+// Command benchgen regenerates every table and figure of the paper's
+// evaluation (Section 8) and writes them to the results/ directory as
+// aligned text and CSV.
+//
+// Usage:
+//
+//	benchgen [-quick] [-exp table1,fig9] [-out results]
+//
+// Without -exp, every experiment runs (the full set takes tens of minutes;
+// -quick reduces workload sizes to a smoke-run scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tycos/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced workload sizes")
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		out   = flag.String("out", "results", "output directory")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Log: os.Stderr}
+
+	drivers := map[string]func(experiments.Config) *experiments.Table{
+		"table1": experiments.Table1,
+		"table2": experiments.Table2,
+		"table3": experiments.Table3,
+		"table4": experiments.Table4,
+		"fig4":   experiments.Fig4,
+		"fig6":   experiments.Fig6,
+		"fig9":   experiments.Fig9,
+		"fig10":  experiments.Fig10,
+		"fig11":  experiments.Fig11,
+		"fig12":  experiments.Fig11, // Fig 12 plots the Fig 11 series together
+		"fig13a": experiments.Fig13A,
+		"fig13b": experiments.Fig13B,
+		"fig13c": experiments.Fig13C,
+	}
+	order := []string{
+		"table1", "table2", "table3", "table4",
+		"fig4", "fig6", "fig9", "fig10", "fig11", "fig13a", "fig13b", "fig13c",
+	}
+
+	var selected []string
+	if *exp == "" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := drivers[id]; !ok {
+				fmt.Fprintf(os.Stderr, "benchgen: unknown experiment %q (known: %s)\n", id, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	for _, id := range selected {
+		fmt.Fprintf(os.Stderr, "== running %s ==\n", id)
+		t := drivers[id](cfg)
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		txt := filepath.Join(*out, t.ID+".txt")
+		f, err := os.Create(txt)
+		if err == nil {
+			_, err = t.WriteTo(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err == nil {
+			err = os.WriteFile(filepath.Join(*out, t.ID+".csv"), []byte(t.CSV()), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command datagen generates the reproduction's datasets to CSV files:
+// the Table 1 composite relation pairs, the correlated-AR runtime
+// workloads, and the simulated energy-home and smart-city feeds.
+//
+// Usage:
+//
+//	datagen -kind relations -out relations.csv [-seglen 300] [-seplen 170] [-delay 150]
+//	datagen -kind ar        -out ar.csv        [-n 8000] [-segments 4]
+//	datagen -kind energy    -out energy.csv    [-days 7]
+//	datagen -kind city      -out city.csv      [-days 14]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tycos/internal/dataset"
+	"tycos/internal/series"
+	"tycos/internal/synth"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "", "dataset kind: relations, ar, energy, city (required)")
+		out      = flag.String("out", "", "output CSV path (required)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		segLen   = flag.Int("seglen", 300, "relations: samples per relation segment")
+		sepLen   = flag.Int("seplen", 170, "relations: independent samples between segments")
+		delay    = flag.Int("delay", 0, "relations: delay applied to every relation's Y events")
+		n        = flag.Int("n", 8000, "ar: series length")
+		segments = flag.Int("segments", 4, "ar: number of correlated segments")
+		days     = flag.Int("days", 7, "energy/city: simulated days")
+	)
+	flag.Parse()
+	if *kind == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch *kind {
+	case "relations":
+		var comp synth.Composite
+		comp, err = synth.Compose(synth.Relations, *segLen, *sepLen, *delay, *seed)
+		if err == nil {
+			err = series.SaveCSV(*out, comp.Pair.X, comp.Pair.Y)
+			for _, seg := range comp.Segments {
+				fmt.Printf("segment %-12s x=[%d,%d] delay=%d\n", seg.Rel, seg.Start, seg.End, seg.Delay)
+			}
+		}
+	case "ar":
+		var comp synth.Composite
+		comp, err = synth.CorrelatedAR(*n, *segments, *n/10, 10, *seed)
+		if err == nil {
+			err = series.SaveCSV(*out, comp.Pair.X, comp.Pair.Y)
+			for _, seg := range comp.Segments {
+				fmt.Printf("segment x=[%d,%d] delay=%d\n", seg.Start, seg.End, seg.Delay)
+			}
+		}
+	case "energy":
+		h := dataset.Energy(dataset.EnergyOptions{Days: *days, Seed: *seed})
+		err = series.SaveCSV(*out, sorted(h.Series())...)
+	case "city":
+		c := dataset.SimulateCity(dataset.CityOptions{Days: *days, Seed: *seed})
+		err = series.SaveCSV(*out, sorted(c.Series())...)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// sorted flattens a series map into name order for stable CSV columns.
+func sorted(m map[string]series.Series) []series.Series {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]series.Series, 0, len(names))
+	for _, name := range names {
+		out = append(out, m[name])
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Estimators example: compare the KSG and histogram mutual-information
+// estimators against the analytic ground truth on correlated Gaussians, and
+// show why the paper chose KSG — accuracy at small sample sizes, where the
+// multi-scale search spends most of its time.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tycos"
+	"tycos/internal/mi"
+)
+
+func main() {
+	rho := 0.8
+	truth := mi.GaussianMI(rho)
+	fmt.Printf("bivariate Gaussian ρ=%.1f: analytic I = %.4f nats\n\n", rho, truth)
+	fmt.Printf("%8s  %10s  %14s\n", "samples", "KSG", "histogram(FD)")
+
+	rng := rand.New(rand.NewSource(1))
+	hist := mi.NewHistogram(0)
+	for _, n := range []int{50, 100, 500, 2000, 10000} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		c := math.Sqrt(1 - rho*rho)
+		for i := 0; i < n; i++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			x[i] = a
+			y[i] = rho*a + c*b
+		}
+		ksg, err := tycos.EstimateMI(x, y, 4)
+		if err != nil {
+			fmt.Println("ksg:", err)
+			continue
+		}
+		hv, err := hist.Estimate(x, y)
+		if err != nil {
+			fmt.Println("histogram:", err)
+			continue
+		}
+		fmt.Printf("%8d  %10.4f  %14.4f\n", n, ksg, hv)
+	}
+
+	fmt.Println("\nnormalized MI of the same dependence at n=2000:")
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	c := math.Sqrt(1 - rho*rho)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = a
+		y[i] = rho*a + c*b
+	}
+	raw, _ := tycos.EstimateMI(x, y, 4)
+	fmt.Printf("  raw             %.4f nats\n", raw)
+	fmt.Printf("  max-entropy     %.4f\n", tycos.NormalizedMI(raw, x, y, tycos.NormMaxEntropy))
+	fmt.Printf("  joint-histogram %.4f\n", tycos.NormalizedMI(raw, x, y, tycos.NormJointHistogram))
+}

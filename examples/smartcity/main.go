@@ -1,0 +1,50 @@
+// Smart-city example: the weather → accidents scenario of the paper's
+// introduction. Two weeks of simulated NYC-style feeds are searched for the
+// precipitation → collision correlation (C7 of Table 3), which appears 30
+// minutes to 2 hours after rain starts, and the result is contrasted with a
+// control series that has no weather coupling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tycos"
+	"tycos/internal/dataset"
+)
+
+func main() {
+	city := dataset.SimulateCity(dataset.CityOptions{Days: 14, Seed: 1})
+
+	opts := tycos.Options{
+		SMin:  24, // ≥ 2 hours at the 5-minute feed resolution
+		SMax:  96, // ≤ 8 hours (a storm's scale)
+		TDMax: 30, // impact delayed up to 2.5 hours
+		Sigma: 0.15,
+		// Collision counts are small integers: dither to keep the KSG
+		// estimator healthy, and require windows to clear a 3-sigma
+		// noise-calibrated bar.
+		Jitter:            0.01,
+		SignificanceLevel: 3,
+		Variant:           tycos.VariantLMN,
+	}
+
+	report := func(label string, y tycos.Series) {
+		pair, err := tycos.NewPair(city.Precipitation, y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tycos.Search(pair, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d windows\n", label, len(res.Windows))
+		for _, w := range res.Windows {
+			fmt.Printf("  rain at step %4d..%4d → impact %3.0f min later (score %.3f)\n",
+				w.Start, w.End, float64(w.Delay)*5, w.MI)
+		}
+	}
+
+	report("precipitation ↔ collisions (coupled)", city.Collisions)
+	report("precipitation ↔ control traffic (uncoupled)", city.CollisionsBaseline)
+}

@@ -1,0 +1,3 @@
+module tycos
+
+go 1.22

@@ -1,0 +1,130 @@
+package amic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+func pairWithSegment(seed int64, n, segStart, segEnd, delay int) series.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	for i := segStart; i <= segEnd; i++ {
+		y[i+delay] = x[i] + 0.05*rng.NormFloat64()
+	}
+	return series.MustPair(series.New("x", x), series.New("y", y))
+}
+
+func TestAMICFindsAlignedCorrelation(t *testing.T) {
+	p := pairWithSegment(3, 512, 128, 255, 0)
+	ws, err := Search(p, Options{SMin: 16, Sigma: 0.25, Normalization: mi.NormMaxEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("AMIC found nothing")
+	}
+	seg := window.Window{Start: 128, End: 255}
+	found := false
+	for _, w := range ws {
+		if w.Delay != 0 {
+			t.Errorf("AMIC produced a delayed window %v", w)
+		}
+		if w.OverlapX(seg) > 40 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("aligned segment not found: %v", ws)
+	}
+}
+
+func TestAMICMissesDelayedCorrelation(t *testing.T) {
+	// The defining limitation (Table 1 right half, Table 3 ✗ entries).
+	p := pairWithSegment(5, 512, 128, 255, 40)
+	ws, err := Search(p, Options{SMin: 16, Sigma: 0.3, Normalization: mi.NormMaxEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := window.Window{Start: 128, End: 255}
+	for _, w := range ws {
+		if w.OverlapX(seg) > 60 && w.MI > 0.5 {
+			t.Errorf("AMIC should not confidently detect the delayed segment: %v", w)
+		}
+	}
+}
+
+func TestAMICDetectsNonlinearRelation(t *testing.T) {
+	// Unlike PCC/MASS/MatrixProfile, AMIC is MI-based and sees a circle.
+	rng := rand.New(rand.NewSource(9))
+	n := 512
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	for i := 128; i < 384; i++ {
+		theta := rng.Float64() * 2 * 3.14159265
+		x[i] = 3 * cos(theta)
+		y[i] = 3*sin(theta) + 0.05*rng.NormFloat64()
+	}
+	p := series.MustPair(series.New("x", x), series.New("y", y))
+	ws, err := Search(p, Options{SMin: 16, Sigma: 0.2, Normalization: mi.NormMaxEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range ws {
+		if w.OverlapX(window.Window{Start: 128, End: 383}) > 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("circle relation not found: %v", ws)
+	}
+}
+
+func TestAMICRespectsSizeBounds(t *testing.T) {
+	p := pairWithSegment(11, 400, 0, 399, 0) // fully correlated pair
+	ws, err := Search(p, Options{SMin: 16, SMax: 100, Sigma: 0.2, Normalization: mi.NormMaxEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("nothing found on fully correlated pair")
+	}
+	for _, w := range ws {
+		if w.Size() > 100 {
+			t.Errorf("window %v exceeds SMax", w)
+		}
+		if w.Size() < 16 {
+			t.Errorf("window %v below SMin", w)
+		}
+	}
+}
+
+func TestAMICDefaults(t *testing.T) {
+	p := pairWithSegment(13, 64, 0, 63, 0)
+	// K defaulting and SMin floor: SMin below k is raised.
+	ws, err := Search(p, Options{SMin: 2, Sigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Error("zero threshold should accept the root window")
+	}
+}
+
+func cos(x float64) float64 { return math.Cos(x) }
+
+func sin(x float64) float64 { return math.Sin(x) }

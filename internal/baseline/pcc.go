@@ -1,0 +1,78 @@
+// Package baseline implements the classical statistical baseline of the
+// paper's effectiveness evaluation: the Pearson Correlation Coefficient
+// (Pearson 1895) and a sliding-window PCC detector. PCC captures linear
+// dependence only, which is exactly why it fails on the non-linear relations
+// of Table 1 — reproducing that failure is the point of the baseline.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"tycos/internal/window"
+)
+
+// Pearson returns the sample Pearson correlation coefficient r ∈ [−1, 1]
+// between x and y. Degenerate inputs (length < 2, zero variance) return 0.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// SlidingPCC slides a fixed-size window over the aligned pair (no time
+// delay — PCC-based procedures in the literature assume simultaneity) and
+// returns every maximal run of positions whose |r| meets the threshold,
+// merged into scored windows carrying the strongest |r| seen inside.
+func SlidingPCC(x, y []float64, size int, threshold float64) ([]window.Scored, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("baseline: length mismatch %d vs %d", len(x), len(y))
+	}
+	if size < 2 || size > len(x) {
+		return nil, fmt.Errorf("baseline: window size %d out of range (n=%d)", size, len(x))
+	}
+	var out []window.Scored
+	open := false
+	var cur window.Scored
+	for i := 0; i+size <= len(x); i++ {
+		r := math.Abs(Pearson(x[i:i+size], y[i:i+size]))
+		if r >= threshold {
+			if !open {
+				cur = window.Scored{Window: window.Window{Start: i, End: i + size - 1}, MI: r}
+				open = true
+			} else {
+				cur.End = i + size - 1
+				if r > cur.MI {
+					cur.MI = r
+				}
+			}
+			continue
+		}
+		if open {
+			out = append(out, cur)
+			open = false
+		}
+	}
+	if open {
+		out = append(out, cur)
+	}
+	return out, nil
+}

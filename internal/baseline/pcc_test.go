@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonExactCases(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(x, x); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %v", r)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", r)
+	}
+	if r := Pearson(x, []float64{2, 2, 2, 2, 2}); r != 0 {
+		t.Errorf("constant y correlation = %v", r)
+	}
+	if r := Pearson(x, []float64{1, 2}); r != 0 {
+		t.Errorf("mismatched length correlation = %v", r)
+	}
+	if r := Pearson([]float64{1}, []float64{1}); r != 0 {
+		t.Errorf("single sample correlation = %v", r)
+	}
+}
+
+func TestPearsonMissesQuadratic(t *testing.T) {
+	// The defining weakness: y = x² on symmetric x has r ≈ 0 despite the
+	// perfect functional dependence.
+	n := 2001
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = -4 + 8*float64(i)/float64(n-1)
+		y[i] = x[i] * x[i]
+	}
+	if r := math.Abs(Pearson(x, y)); r > 0.05 {
+		t.Errorf("quadratic |r| = %v, want ≈0", r)
+	}
+}
+
+func TestPearsonRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(200)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		return r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		return math.Abs(Pearson(x, y)-Pearson(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingPCCFindsLinearSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	for i := 150; i < 250; i++ {
+		y[i] = 2*x[i] + 0.1*rng.NormFloat64()
+	}
+	ws, err := SlidingPCC(x, y, 30, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("sliding PCC found nothing")
+	}
+	found := false
+	for _, w := range ws {
+		if w.Start >= 120 && w.End <= 280 {
+			found = true
+			if w.MI < 0.8 {
+				t.Errorf("window %v carries score below threshold", w)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("linear segment not localised: %v", ws)
+	}
+}
+
+func TestSlidingPCCMissesDelayedSegment(t *testing.T) {
+	// The same construction shifted by 40 samples must vanish for PCC,
+	// reproducing the ✗ entries of Table 1.
+	rng := rand.New(rand.NewSource(5))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	for i := 150; i < 250; i++ {
+		y[i+40] = 2*x[i] + 0.1*rng.NormFloat64()
+	}
+	ws, err := SlidingPCC(x, y, 30, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 0 {
+		t.Errorf("PCC should miss the delayed relation, found %v", ws)
+	}
+}
+
+func TestSlidingPCCErrors(t *testing.T) {
+	if _, err := SlidingPCC([]float64{1, 2}, []float64{1}, 2, 0.5); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := SlidingPCC([]float64{1, 2}, []float64{1, 2}, 1, 0.5); err == nil {
+		t.Error("size 1 must fail")
+	}
+	if _, err := SlidingPCC([]float64{1, 2}, []float64{1, 2}, 5, 0.5); err == nil {
+		t.Error("oversize window must fail")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+// BruteForce enumerates every feasible window (the O(n³) search space of
+// Lemma 1), scores each with the configured estimator (the O(m log m) kNN
+// cost of Lemma 2), and returns all windows whose score meets σ, aggregated
+// into maximal non-overlapping windows the way the paper post-processes the
+// Brute Force output for the accuracy evaluation ("the generated windows are
+// aggregated and the overlapped windows are combined together").
+//
+// It is exact and therefore exponentially slower than Search; use it only on
+// small inputs (the paper's 9,000-sample example takes >12 hours in C++).
+func BruteForce(p series.Pair, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(p.Len()); err != nil {
+		return Result{}, err
+	}
+	p = jitterPair(p, opts.Jitter, opts.Seed)
+	s := &searcher{
+		pair: p,
+		opts: opts,
+		cons: opts.constraints(p.Len()),
+	}
+	sc := newBatchScorer(p, opts.K, opts.Normalization)
+	if opts.SignificanceLevel > 0 {
+		sc.null = buildNullModel(p, opts, rand.New(rand.NewSource(opts.Seed+0x5eed)))
+	}
+	s.scorer = sc
+
+	var hits []window.Scored
+	n := p.Len()
+	for start := 0; start+opts.SMin-1 < n; start++ {
+		maxEnd := start + opts.SMax - 1
+		if maxEnd > n-1 {
+			maxEnd = n - 1
+		}
+		for end := start + opts.SMin - 1; end <= maxEnd; end++ {
+			for tau := -opts.TDMax; tau <= opts.TDMax; tau++ {
+				w := window.Window{Start: start, End: end, Delay: tau}
+				if !s.cons.Feasible(w) {
+					continue
+				}
+				sc, err := s.scorer.finalScore(w)
+				if err != nil {
+					continue
+				}
+				s.stats.WindowsEvaluated++
+				if sc >= opts.Sigma {
+					hits = append(hits, window.Scored{Window: w, MI: sc})
+				}
+			}
+		}
+	}
+	merged := window.MergeOverlapping(hits)
+	s.stats.MIBatch, s.stats.MIIncremental = s.scorer.stats()
+	return Result{Windows: merged, Stats: s.stats}, nil
+}
+
+// SearchSpaceSize reports the exact number of feasible windows for the
+// options over a series of length n (Lemma 1).
+func SearchSpaceSize(n int, opts Options) int64 {
+	opts = opts.withDefaults()
+	return opts.constraints(n).SearchSpaceSize()
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tycos/internal/series"
+)
+
+// PairResult is the outcome of one pair's search within a multi-pair run.
+type PairResult struct {
+	// XName and YName identify the pair.
+	XName, YName string
+	// Result is the search outcome; valid when Err is nil.
+	Result Result
+	// Err records a per-pair failure (the sweep continues past it).
+	Err error
+}
+
+// SearchAll runs TYCOS over every ordered pair of distinct series — the
+// paper's cross-domain workflow ("we create pairwise time series from 72
+// plugs, and apply TYCOS ... on each time series pair") — fanning the pairs
+// across parallelism workers (0 → GOMAXPROCS). Each pair gets an
+// independent, deterministic search (the configured seed), so results do
+// not depend on scheduling. Pairs are ordered (x, y) with x before y in the
+// input slice; the delay dimension already covers both directions of
+// influence, so the reverse pairs would be redundant.
+//
+// Results arrive sorted by input position. Series of mismatched lengths
+// produce a per-pair error rather than failing the sweep.
+func SearchAll(ss []series.Series, opts Options, parallelism int) []PairResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		pos  int
+		x, y series.Series
+	}
+	var jobs []job
+	for i := 0; i < len(ss); i++ {
+		for j := i + 1; j < len(ss); j++ {
+			jobs = append(jobs, job{pos: len(jobs), x: ss[i], y: ss[j]})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	out := make([]PairResult, len(jobs))
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range ch {
+				pr := PairResult{XName: jb.x.Name, YName: jb.y.Name}
+				p, err := series.NewPair(jb.x, jb.y)
+				if err == nil {
+					pr.Result, err = Search(p, opts)
+				}
+				if err != nil {
+					pr.Err = fmt.Errorf("core: pair (%s, %s): %w", jb.x.Name, jb.y.Name, err)
+				}
+				out[jb.pos] = pr
+			}
+		}()
+	}
+	for _, jb := range jobs {
+		ch <- jb
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}

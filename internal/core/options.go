@@ -1,0 +1,175 @@
+// Package core implements the TYCOS search itself: the problem statement of
+// Section 4, the Brute Force reference search (Lemmas 1–2), the LAHC-based
+// search TYCOS_L (Algorithm 1), the noise theory of Section 6 (TYCOS_LN,
+// Algorithm 2), and the incremental-MI variants TYCOS_LM and TYCOS_LMN that
+// reuse k-NN state across neighbouring windows (Section 7).
+package core
+
+import (
+	"fmt"
+
+	"tycos/internal/mi"
+	"tycos/internal/window"
+)
+
+// Variant selects which TYCOS optimisations are active, matching the four
+// versions compared in the paper's efficiency evaluation (Section 8.4).
+type Variant int
+
+const (
+	// VariantL is plain LAHC search with from-scratch MI per window.
+	VariantL Variant = iota
+	// VariantLN adds the noise theory (initial pruning + direction pruning).
+	VariantLN
+	// VariantLM adds the incremental MI computation.
+	VariantLM
+	// VariantLMN applies both optimisations (the flagship configuration).
+	VariantLMN
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantL:
+		return "TYCOS_L"
+	case VariantLN:
+		return "TYCOS_LN"
+	case VariantLM:
+		return "TYCOS_LM"
+	case VariantLMN:
+		return "TYCOS_LMN"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// noise reports whether the variant applies the Section 6 noise theory.
+func (v Variant) noise() bool { return v == VariantLN || v == VariantLMN }
+
+// incremental reports whether the variant uses the Section 7 incremental MI.
+func (v Variant) incremental() bool { return v == VariantLM || v == VariantLMN }
+
+// Options configures a TYCOS search. The five paper parameters (σ, ε, s_min,
+// s_max, td_max — Section 8.2) plus the search hyper-parameters.
+type Options struct {
+	// SMin and SMax bound the window size (samples).
+	SMin, SMax int
+	// TDMax bounds the absolute time delay (samples).
+	TDMax int
+	// Sigma is the correlation threshold σ on the normalized score.
+	Sigma float64
+	// Epsilon is the noise threshold ε (0 ≤ ε < σ). Zero selects the
+	// paper's recommended ε = σ/4.
+	Epsilon float64
+	// K is the KSG neighbour count (0 → mi.DefaultK).
+	K int
+	// Delta is the base δ moving step of the neighbourhood (0 → 1).
+	Delta int
+	// MaxIdle is T_maxIdle, the number of consecutive non-improving
+	// neighbourhood explorations tolerated before stopping (0 → 5). Each
+	// idle round also widens the explored neighbourhood (N₁, N₂, …).
+	MaxIdle int
+	// HistoryLength is the LAHC history size L_h (0 → lahc default).
+	HistoryLength int
+	// MinImprovement is the score gain required to count an exploration as
+	// progress for the idle counter (0 → 0.005). Without it, estimator
+	// fluctuation across the huge number of visited windows produces a
+	// trickle of microscopic "improvements" that keeps climbs alive far
+	// past any real structure.
+	MinImprovement float64
+	// Normalization selects the score scaling (default NormMaxEntropy; see
+	// mi.Normalization).
+	Normalization mi.Normalization
+	// TopK, when positive, replaces the fixed σ with the adaptive top-K
+	// threshold of Section 6.3.2.
+	TopK int
+	// Variant selects the optimisation set (default VariantLMN).
+	Variant Variant
+	// Jitter, when positive, adds deterministic uniform noise of amplitude
+	// Jitter·std(series) to each series before searching. KSG degrades on
+	// heavily tied data (e.g. small-integer event counts): tied coordinates
+	// collapse the kth-neighbour distances and the marginal counts explode.
+	// Dithering at a scale far below the data's resolution breaks the ties
+	// without adding measurable information; 0.01 is a good value for count
+	// data. 0 disables (default).
+	Jitter float64
+	// SignificanceLevel, when positive, subtracts a calibrated null level
+	// (mean + SignificanceLevel·std of the KSG estimate on shuffled data of
+	// the same window size) from every raw MI before normalization. This
+	// suppresses the spurious small-window maxima a search over thousands
+	// of candidates otherwise surfaces. 0 disables the correction (the
+	// paper-faithful behaviour); 2–3 is a reasonable level when enabled.
+	SignificanceLevel float64
+	// Seed drives all randomness; equal seeds give identical searches.
+	Seed int64
+}
+
+// withDefaults returns a copy of o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = mi.DefaultK
+	}
+	if o.Delta <= 0 {
+		o.Delta = 1
+	}
+	if o.MaxIdle <= 0 {
+		o.MaxIdle = 5
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = o.Sigma / 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 0.005
+	}
+	return o
+}
+
+// constraints builds the feasibility constraints for a series of length n.
+func (o Options) constraints(n int) window.Constraints {
+	return window.Constraints{N: n, SMin: o.SMin, SMax: o.SMax, TDMax: o.TDMax}
+}
+
+// validate reports an error for inconsistent options over a series of
+// length n. It expects defaults to be applied already.
+func (o Options) validate(n int) error {
+	if err := o.constraints(n).Validate(); err != nil {
+		return err
+	}
+	if o.Sigma < 0 {
+		return fmt.Errorf("core: σ = %v must be non-negative", o.Sigma)
+	}
+	if o.Epsilon >= o.Sigma && o.Sigma > 0 {
+		return fmt.Errorf("core: ε = %v must be below σ = %v", o.Epsilon, o.Sigma)
+	}
+	if o.SMin <= o.K {
+		return fmt.Errorf("core: s_min = %d must exceed KSG k = %d", o.SMin, o.K)
+	}
+	return nil
+}
+
+// Stats counts the work a search performed; the efficiency evaluation
+// reports these alongside wall-clock time.
+type Stats struct {
+	// WindowsEvaluated counts scored windows (including revisits).
+	WindowsEvaluated int
+	// MIBatch counts from-scratch MI estimations.
+	MIBatch int
+	// MIIncremental counts incremental window moves.
+	MIIncremental int
+	// Restarts counts LAHC restarts on unscanned remainders.
+	Restarts int
+	// PrunedDirections counts exploration directions cut by noise theory.
+	PrunedDirections int
+	// NoiseBlocks counts s_min blocks discarded by initial noise pruning.
+	NoiseBlocks int
+}
+
+// Result is the outcome of a search: the accepted windows (scored with the
+// configured normalization) and the work statistics.
+type Result struct {
+	Windows []window.Scored
+	Stats   Stats
+}

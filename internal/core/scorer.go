@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+// scorer evaluates the (normalized) MI of time-delay windows. The batch
+// implementation estimates every window from scratch (TYCOS_L/LN); the
+// incremental implementation keeps KSG state across calls and applies only
+// the point-level differences between consecutive windows (TYCOS_LM/LMN).
+type scorer interface {
+	// score returns the normalized MI of w, or an error for infeasible or
+	// degenerate windows.
+	score(w window.Window) (float64, error)
+	// both returns the raw KSG estimate alongside the normalized score. The
+	// noise theory needs the raw value: Theorem 6.1 bounds raw MI under
+	// mixing, and normalized scores shrink with window size by construction,
+	// which would make every concatenation look like a decrease.
+	both(w window.Window) (raw, norm float64, err error)
+	// finalScore is score with the significance correction applied (when a
+	// null model is configured): the calibrated null level for the window's
+	// size is subtracted from the raw MI before normalization. The climb
+	// runs on uncorrected scores — subtracting during the walk would flatten
+	// the very gradients it follows — and only the acceptance decision uses
+	// the corrected value.
+	finalScore(w window.Window) (float64, error)
+	// stats exposes the work counters accumulated so far.
+	stats() (batch, incremental int)
+}
+
+// batchScorer re-estimates every window independently.
+type batchScorer struct {
+	pair    series.Pair
+	est     *mi.KSG
+	norm    mi.Normalization
+	null    *nullModel
+	nBatch  int
+	nWindow int
+}
+
+func newBatchScorer(p series.Pair, k int, norm mi.Normalization) *batchScorer {
+	return &batchScorer{pair: p, est: mi.NewKSG(k, mi.BackendKDTree), norm: norm}
+}
+
+func (s *batchScorer) score(w window.Window) (float64, error) {
+	_, norm, err := s.scoreNull(w, nil)
+	return norm, err
+}
+
+func (s *batchScorer) both(w window.Window) (float64, float64, error) {
+	return s.scoreNull(w, nil)
+}
+
+func (s *batchScorer) finalScore(w window.Window) (float64, error) {
+	_, norm, err := s.scoreNull(w, s.null)
+	return norm, err
+}
+
+func (s *batchScorer) scoreNull(w window.Window, null *nullModel) (float64, float64, error) {
+	xs, ys, err := s.pair.DelaySlice(w.Start, w.End, w.Delay)
+	if err != nil {
+		return 0, 0, err
+	}
+	raw, err := s.est.Estimate(xs, ys)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.nBatch++
+	adj := raw - null.at(len(xs))
+	if adj < 0 {
+		adj = 0
+	}
+	return raw, mi.Normalize(adj, xs, ys, s.norm), nil
+}
+
+func (s *batchScorer) stats() (int, int) { return s.nBatch, 0 }
+
+// incScorer keeps incremental KSG estimators positioned at recently scored
+// windows, one per time delay, and diffs each scored window against the
+// estimator of its delay. Same-delay moves are applied as edge
+// insertions/removals; a window at a delay with no cached estimator pays one
+// rebuild, after which that τ-plane is explored incrementally. The small
+// per-delay cache is what makes the LAHC neighbourhood — which mixes three
+// delays per exploration — profitable to evaluate incrementally; with a
+// single estimator every delay change would force a rebuild and TYCOS_LM
+// would run slower than TYCOS_L.
+type incScorer struct {
+	pair series.Pair
+	k    int
+	norm mi.Normalization
+	null *nullModel
+	cell float64 // grid cell size, fixed for the whole search
+
+	states map[int]*incState // keyed by delay
+	tick   int               // LRU clock
+
+	nBatch int // rebuilds
+	nInc   int // incremental moves
+}
+
+// incState is one cached estimator and the window it is positioned at.
+type incState struct {
+	inc     *mi.Incremental
+	cur     window.Window
+	lastUse int
+}
+
+// maxIncStates bounds the per-delay estimator cache. A neighbourhood touches
+// three delays; a few extra slots cover the climb's recent τ history.
+const maxIncStates = 6
+
+// newIncScorer sizes the grid cell once from the full series span and the
+// maximum window population, so estimators rebuilt for tiny windows (e.g.
+// noise partitions) still index later, larger windows efficiently — a
+// per-window cell size can be orders of magnitude too small for the next
+// window and make ring searches explode.
+func newIncScorer(p series.Pair, k int, norm mi.Normalization, sMax int) *incScorer {
+	if sMax < 1 {
+		sMax = 1
+	}
+	cell := gridCellFor(p.X.Values, p.Y.Values, k, sMax)
+	return &incScorer{pair: p, k: k, norm: norm, cell: cell, states: make(map[int]*incState)}
+}
+
+func (s *incScorer) score(w window.Window) (float64, error) {
+	_, norm, err := s.scoreNull(w, nil)
+	return norm, err
+}
+
+func (s *incScorer) both(w window.Window) (float64, float64, error) {
+	return s.scoreNull(w, nil)
+}
+
+func (s *incScorer) finalScore(w window.Window) (float64, error) {
+	_, norm, err := s.scoreNull(w, s.null)
+	return norm, err
+}
+
+func (s *incScorer) scoreNull(w window.Window, null *nullModel) (float64, float64, error) {
+	st, err := s.moveTo(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	raw, err := st.inc.MI()
+	if err != nil {
+		return 0, 0, err
+	}
+	adj := raw - null.at(w.Size())
+	if adj < 0 {
+		adj = 0
+	}
+	return raw, s.normalize(adj, w), nil
+}
+
+func (s *incScorer) normalize(raw float64, w window.Window) float64 {
+	switch s.norm {
+	case mi.NormNone:
+		return raw
+	case mi.NormMaxEntropy:
+		m := w.Size()
+		if m < 2 {
+			return 0
+		}
+		v := raw / math.Log(float64(m))
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	default:
+		// Denominators that need the window contents fall back to slicing;
+		// this costs O(m) but keeps all normalizations available.
+		xs, ys, err := s.pair.DelaySlice(w.Start, w.End, w.Delay)
+		if err != nil {
+			return 0
+		}
+		return mi.Normalize(raw, xs, ys, s.norm)
+	}
+}
+
+// moveTo returns the estimator for w's delay positioned at w, diffing from
+// its previous window or rebuilding when no usable state exists.
+func (s *incScorer) moveTo(w window.Window) (*incState, error) {
+	s.tick++
+	st := s.states[w.Delay]
+	if st == nil {
+		return s.rebuild(w)
+	}
+	st.lastUse = s.tick
+	if w == st.cur {
+		return st, nil
+	}
+	// Same delay: apply the index-range difference. Ids are X indices.
+	old, next := st.cur, w
+	if next.Start > old.End || next.End < old.Start {
+		// Disjoint ranges: cheaper to rebuild.
+		return s.rebuild(w)
+	}
+	// A large diff cascades more neighbourhood refreshes than a one-pass
+	// bulk reload costs; rebuild past a third of the window.
+	diff := abs(next.Start-old.Start) + abs(next.End-old.End)
+	if limit := next.Size() / 3; diff > limit && diff > 8 {
+		return s.rebuild(w)
+	}
+	x := s.pair.X.Values
+	y := s.pair.Y.Values
+	for i := old.Start; i < next.Start; i++ {
+		st.inc.Remove(i)
+	}
+	for i := next.End + 1; i <= old.End; i++ {
+		st.inc.Remove(i)
+	}
+	for i := next.Start; i < old.Start; i++ {
+		st.inc.Insert(i, x[i], y[i+w.Delay])
+	}
+	for i := old.End + 1; i <= next.End; i++ {
+		st.inc.Insert(i, x[i], y[i+w.Delay])
+	}
+	st.cur = w
+	s.nInc++
+	return st, nil
+}
+
+func (s *incScorer) rebuild(w window.Window) (*incState, error) {
+	xs, ys, err := s.pair.DelaySlice(w.Start, w.End, w.Delay)
+	if err != nil {
+		return nil, err
+	}
+	// Points are keyed by their X index so same-delay moves can diff ranges.
+	ids := make([]int, w.Size())
+	for i := range ids {
+		ids[i] = w.Start + i
+	}
+	fresh := mi.NewIncrementalBulk(s.k, s.cell, ids, xs, ys)
+	st := &incState{inc: fresh, cur: w, lastUse: s.tick}
+	if len(s.states) >= maxIncStates {
+		s.evictLRU()
+	}
+	s.states[w.Delay] = st
+	s.nBatch++
+	return st, nil
+}
+
+// evictLRU drops the least recently used cached estimator.
+func (s *incScorer) evictLRU() {
+	oldestDelay, oldestUse := 0, int(^uint(0)>>1)
+	for d, st := range s.states {
+		if st.lastUse < oldestUse {
+			oldestDelay, oldestUse = d, st.lastUse
+		}
+	}
+	delete(s.states, oldestDelay)
+}
+
+func (s *incScorer) stats() (int, int) { return s.nBatch, s.nInc }
+
+// gridCellFor tunes a grid cell size so a window of up to m points spread
+// over the joint span of xs and ys holds O(k) points per occupied cell.
+func gridCellFor(xs, ys []float64, k, m int) float64 {
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	for _, v := range ys {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	span := maxV - minV
+	if !(span > 0) {
+		return 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	cellsPerAxis := math.Sqrt(float64(m) / float64(k))
+	if cellsPerAxis < 1 {
+		cellsPerAxis = 1
+	}
+	return span / cellsPerAxis
+}
+
+// jitterPair returns the pair with deterministic uniform dither of amplitude
+// jitter·std added to each series (see Options.Jitter); a non-positive
+// jitter returns the pair unchanged.
+func jitterPair(p series.Pair, jitter float64, seed int64) series.Pair {
+	if jitter <= 0 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed + 0xd17e))
+	dither := func(s series.Series) series.Series {
+		st := s.Stats()
+		scale := jitter * st.Std
+		if scale <= 0 {
+			scale = jitter
+		}
+		out := s.Clone()
+		for i := range out.Values {
+			out.Values[i] += scale * (rng.Float64() - 0.5) * 2
+		}
+		return out
+	}
+	return series.Pair{X: dither(p.X), Y: dither(p.Y)}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

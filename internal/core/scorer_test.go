@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+func scorerPair(seed int64, n int) series.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	ar := 0.0
+	for i := range x {
+		ar = 0.8*ar + rng.NormFloat64()
+		x[i] = ar
+		y[i] = 0.6*ar + 0.5*rng.NormFloat64()
+	}
+	return series.MustPair(series.New("x", x), series.New("y", y))
+}
+
+func TestBatchAndIncrementalScorersAgree(t *testing.T) {
+	p := scorerPair(3, 400)
+	batch := newBatchScorer(p, 4, mi.NormMaxEntropy)
+	inc := newIncScorer(p, 4, mi.NormMaxEntropy, 120)
+	windows := []window.Window{
+		{Start: 10, End: 60, Delay: 0},
+		{Start: 12, End: 66, Delay: 0}, // same-delay diff
+		{Start: 12, End: 66, Delay: 3}, // delay change
+		{Start: 15, End: 70, Delay: 3}, // diff at new delay
+		{Start: 12, End: 66, Delay: 0}, // back to cached delay 0
+		{Start: 200, End: 320, Delay: -5},
+	}
+	for _, w := range windows {
+		b, errB := batch.score(w)
+		i, errI := inc.score(w)
+		if (errB == nil) != (errI == nil) {
+			t.Fatalf("%v: error mismatch %v vs %v", w, errB, errI)
+		}
+		if errB != nil {
+			continue
+		}
+		if math.Abs(b-i) > 1e-9 {
+			t.Errorf("%v: batch %.12f != incremental %.12f", w, b, i)
+		}
+		rb, nb, err := batch.both(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, ni, err := inc.both(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rb-ri) > 1e-9 || math.Abs(nb-ni) > 1e-9 {
+			t.Errorf("%v: both() mismatch (%v,%v) vs (%v,%v)", w, rb, nb, ri, ni)
+		}
+	}
+	nBatch, nInc := inc.stats()
+	if nInc == 0 {
+		t.Error("incremental scorer performed no incremental moves")
+	}
+	if nBatch == 0 {
+		t.Error("incremental scorer performed no rebuilds")
+	}
+}
+
+func TestIncScorerLRUEviction(t *testing.T) {
+	p := scorerPair(5, 300)
+	inc := newIncScorer(p, 4, mi.NormMaxEntropy, 60)
+	// Touch more delays than the cache holds.
+	for d := -5; d <= 5; d++ {
+		if _, err := inc.score(window.Window{Start: 50, End: 100, Delay: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(inc.states) > maxIncStates {
+		t.Errorf("cache grew to %d > %d", len(inc.states), maxIncStates)
+	}
+	// Evicted delays still score correctly (through a rebuild).
+	b, _ := newBatchScorer(p, 4, mi.NormMaxEntropy).score(window.Window{Start: 50, End: 100, Delay: -5})
+	i, err := inc.score(window.Window{Start: 50, End: 100, Delay: -5})
+	if err != nil || math.Abs(b-i) > 1e-9 {
+		t.Errorf("evicted delay rescores wrong: %v vs %v (%v)", b, i, err)
+	}
+}
+
+func TestNullModelInterpolation(t *testing.T) {
+	nm := &nullModel{sizes: []int{10, 40, 160}, levels: []float64{0.8, 0.4, 0.1}}
+	if nm.at(5) != 0.8 || nm.at(10) != 0.8 {
+		t.Error("clamp below first size failed")
+	}
+	if nm.at(160) != 0.1 || nm.at(1000) != 0.1 {
+		t.Error("clamp above last size failed")
+	}
+	mid := nm.at(20) // log-midpoint of [10,40]
+	if mid <= 0.4 || mid >= 0.8 {
+		t.Errorf("interpolated level %v out of (0.4, 0.8)", mid)
+	}
+	if nm.at(40) != 0.4 {
+		t.Errorf("exact grid point = %v", nm.at(40))
+	}
+	var nilModel *nullModel
+	if nilModel.at(50) != 0 {
+		t.Error("nil model must be zero")
+	}
+}
+
+func TestBuildNullModelDecreasesWithSize(t *testing.T) {
+	p := scorerPair(7, 600)
+	opts := Options{SMin: 10, SMax: 160, TDMax: 4, Sigma: 0.3, SignificanceLevel: 2}.withDefaults()
+	nm := buildNullModel(p, opts, rand.New(rand.NewSource(1)))
+	if len(nm.sizes) < 3 {
+		t.Fatalf("too few calibration sizes: %v", nm.sizes)
+	}
+	// KSG spurious MI shrinks with sample count; the calibrated levels
+	// should broadly decrease.
+	first, last := nm.levels[0], nm.levels[len(nm.levels)-1]
+	if last >= first {
+		t.Errorf("null level did not decrease: %v → %v (%v)", first, last, nm.levels)
+	}
+	for _, l := range nm.levels {
+		if l < 0 || l > 3 {
+			t.Errorf("implausible null level %v", l)
+		}
+	}
+}
+
+func TestJitterPair(t *testing.T) {
+	p := scorerPair(9, 200)
+	same := jitterPair(p, 0, 1)
+	if &same.X.Values[0] != &p.X.Values[0] {
+		t.Error("zero jitter must return the pair unchanged")
+	}
+	j1 := jitterPair(p, 0.01, 1)
+	j2 := jitterPair(p, 0.01, 1)
+	moved := false
+	for i := range p.X.Values {
+		if j1.X.Values[i] != j2.X.Values[i] {
+			t.Fatal("jitter must be deterministic for equal seeds")
+		}
+		if j1.X.Values[i] != p.X.Values[i] {
+			moved = true
+		}
+		// Amplitude bounded by jitter·std (std ≈ 1.6 here).
+		if math.Abs(j1.X.Values[i]-p.X.Values[i]) > 0.05 {
+			t.Fatalf("jitter too large at %d: %v vs %v", i, j1.X.Values[i], p.X.Values[i])
+		}
+	}
+	if !moved {
+		t.Error("jitter changed nothing")
+	}
+	// Constant series still get dithered (absolute fallback scale).
+	c := series.MustPair(series.New("cx", make([]float64, 50)), series.New("cy", make([]float64, 50)))
+	jc := jitterPair(c, 0.01, 2)
+	if jc.X.Values[0] == 0 && jc.X.Values[1] == 0 {
+		t.Error("constant series not dithered")
+	}
+}
+
+func TestNoiseVerdictOnKnownStructure(t *testing.T) {
+	// A pair correlated on [0,99] and independent on [100,199]: the forward
+	// partition after the correlated anchor must be judged noise; a
+	// partition inside the correlated region must not.
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		if i < 100 {
+			y[i] = x[i] + 0.1*rng.NormFloat64()
+		} else {
+			y[i] = rng.NormFloat64()
+		}
+	}
+	p := series.MustPair(series.New("x", x), series.New("y", y))
+	opts := Options{SMin: 16, SMax: 150, TDMax: 2, Sigma: 0.3}.withDefaults()
+	s := &searcher{pair: p, opts: opts, cons: opts.constraints(n)}
+	s.scorer = newBatchScorer(p, opts.K, mi.NormMaxEntropy)
+
+	anchor := window.Window{Start: 40, End: 99, Delay: 0}
+	anchorRaw, _, err := s.scorer.both(anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisePart := window.Window{Start: 100, End: 115, Delay: 0}
+	if !s.noiseVerdict(anchor, anchorRaw, noisePart, true) {
+		t.Error("independent continuation should be judged noise")
+	}
+	inner := window.Window{Start: 40, End: 79, Delay: 0}
+	innerRaw, _, err := s.scorer.both(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodPart := window.Window{Start: 80, End: 99, Delay: 0}
+	if s.noiseVerdict(inner, innerRaw, goodPart, true) {
+		t.Error("correlated continuation should not be judged noise")
+	}
+}
+
+func TestGridCellForDegenerate(t *testing.T) {
+	if gridCellFor([]float64{1, 1}, []float64{1, 1}, 4, 100) != 1 {
+		t.Error("zero span must fall back to 1")
+	}
+	if c := gridCellFor([]float64{0, 10}, []float64{0, 10}, 0, 0); !(c > 0) {
+		t.Errorf("degenerate parameters produced cell %v", c)
+	}
+}

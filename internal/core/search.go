@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"tycos/internal/lahc"
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+// searcher carries the state of one Search invocation.
+type searcher struct {
+	pair   series.Pair
+	opts   Options
+	cons   window.Constraints
+	scorer scorer
+	rng    *rand.Rand
+	stats  Stats
+}
+
+// Search runs TYCOS over the pair with the configured variant and returns
+// the accepted non-overlapping windows, scored with the configured
+// normalization, sorted by start index.
+//
+// The search is Algorithm 1 (plus Algorithm 2 for the noise variants): LAHC
+// climbs from an initial window, exploring δ-neighbourhoods that widen while
+// no improvement is found; when T_maxIdle explorations in a row fail to
+// improve, the local optimum is recorded and the search restarts on the
+// unscanned remainder until the pair is covered.
+func Search(p series.Pair, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(p.Len()); err != nil {
+		return Result{}, err
+	}
+	p = jitterPair(p, opts.Jitter, opts.Seed)
+	s := &searcher{
+		pair: p,
+		opts: opts,
+		cons: opts.constraints(p.Len()),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	var null *nullModel
+	if opts.SignificanceLevel > 0 {
+		// A dedicated RNG keeps the calibration from perturbing the walk.
+		null = buildNullModel(p, opts, rand.New(rand.NewSource(opts.Seed+0x5eed)))
+	}
+	if opts.Variant.incremental() {
+		sc := newIncScorer(p, opts.K, opts.Normalization, opts.SMax)
+		sc.null = null
+		s.scorer = sc
+	} else {
+		sc := newBatchScorer(p, opts.K, opts.Normalization)
+		sc.null = null
+		s.scorer = sc
+	}
+
+	var candidates []window.Scored
+	var topk *mi.TopK
+
+	scanFrom := 0
+	n := p.Len()
+	for scanFrom+opts.SMin <= n {
+		w0, ok := s.initialWindow(scanFrom)
+		if !ok {
+			break
+		}
+		best, bestScore := s.climb(w0)
+		if null != nil {
+			// The reported and thresholded score is the significance-
+			// corrected one; the climb's internal score is uncorrected.
+			if corrected, err := s.scorer.finalScore(best); err == nil {
+				bestScore = corrected
+			}
+		}
+		if topk == nil && opts.TopK > 0 {
+			topk = mi.NewTopK(opts.TopK, bestScore)
+		}
+		candidates = append(candidates, window.Scored{Window: best, MI: bestScore})
+		if topk != nil {
+			topk.Offer(bestScore)
+		}
+		s.stats.Restarts++
+		next := best.End + 1
+		if min := scanFrom + opts.SMin; next < min {
+			next = min
+		}
+		scanFrom = next
+	}
+
+	threshold := opts.Sigma
+	if topk != nil {
+		threshold = topk.Threshold()
+	}
+	var set window.Set
+	for _, c := range candidates {
+		if c.MI >= threshold {
+			set.Insert(c)
+		}
+	}
+	items := set.Items()
+	if topk != nil && len(items) > opts.TopK {
+		sort.Slice(items, func(i, j int) bool { return items[i].MI > items[j].MI })
+		items = items[:opts.TopK]
+		sort.Slice(items, func(i, j int) bool { return items[i].Start < items[j].Start })
+	}
+	s.stats.MIBatch, s.stats.MIIncremental = s.scorer.stats()
+	return Result{Windows: items, Stats: s.stats}, nil
+}
+
+// initialWindow picks the starting solution for a climb: the plain variants
+// start at the minimal window at the scan position (Algorithm 1, line 2);
+// the noise variants run the Section 6.2.1 hierarchical construction.
+func (s *searcher) initialWindow(from int) (window.Window, bool) {
+	if s.opts.Variant.noise() {
+		return s.initialNoisePruning(from)
+	}
+	w := window.Window{Start: from, End: from + s.opts.SMin - 1, Delay: 0}
+	return w, s.cons.Feasible(w)
+}
+
+// climb runs one LAHC ascent from w0 and returns the best feasible window
+// seen with its score.
+func (s *searcher) climb(w0 window.Window) (window.Window, float64) {
+	cur := w0
+	curScore := s.mustScore(cur)
+	best, bestScore := cur, curScore
+
+	acceptor := lahc.New(s.opts.HistoryLength, curScore, s.rng)
+	idle := 0
+	level := 1
+	var pruned map[direction]bool
+	if s.opts.Variant.noise() {
+		pruned = s.prunedDirections(cur)
+	}
+
+	// Hard ceiling against pathological wandering; in practice the idle
+	// budget stops the climb long before this.
+	maxIters := 100*s.opts.MaxIdle + 2*s.opts.SMax/s.opts.Delta
+
+	for iter := 0; idle < s.opts.MaxIdle && iter < maxIters; iter++ {
+		neighbors := neighborhood(cur, s.opts.Delta, level, s.cons, pruned)
+		if len(neighbors) == 0 {
+			idle++
+			level++
+			continue
+		}
+		bestnb := neighbors[0]
+		bestnbScore := s.mustScore(bestnb)
+		for _, nb := range neighbors[1:] {
+			if sc := s.mustScore(nb); sc > bestnbScore {
+				bestnb, bestnbScore = nb, sc
+			}
+		}
+		newCur, accepted := acceptor.Consider(curScore, bestnbScore)
+		if accepted {
+			cur, curScore = bestnb, newCur
+			if s.opts.Variant.noise() {
+				pruned = s.prunedDirections(cur)
+			}
+		}
+		// The idle budget counts explorations that fail to push the climb's
+		// best solution meaningfully forward. Resetting on any accepted move
+		// would let LAHC's late acceptance cycle (drop, re-improve, …)
+		// forever, and resetting on any new best would let estimator noise
+		// across thousands of visited windows trickle microscopic records;
+		// progress therefore requires beating the best by MinImprovement.
+		progressed := accepted && curScore > bestScore+s.opts.MinImprovement
+		if accepted && curScore > bestScore {
+			best, bestScore = cur, curScore
+		}
+		if progressed {
+			idle = 0
+			level = 1
+		} else {
+			idle++
+			level++
+		}
+	}
+	return best, bestScore
+}
+
+// mustScore scores a window, mapping estimation failures (degenerate or
+// undersized windows) to 0 — such windows carry no usable evidence of
+// correlation.
+func (s *searcher) mustScore(w window.Window) float64 {
+	sc, err := s.scorer.score(w)
+	if err != nil {
+		return 0
+	}
+	s.stats.WindowsEvaluated++
+	return sc
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"tycos/internal/series"
+)
+
+// StepsPerDay is the number of samples per simulated day at the smart-city
+// feeds' 5-minute resolution.
+const StepsPerDay = 24 * 12
+
+// CityOptions configures the smart-city simulation.
+type CityOptions struct {
+	// Days is the number of simulated days (default 14).
+	Days int
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+// City holds the simulated NYC-style weather and collision series, all at
+// 5-minute resolution and equal length.
+type City struct {
+	Precipitation      series.Series // rain intensity (mm/h-ish)
+	WindSpeed          series.Series // m/s-ish, AR process with gust events
+	Snow               series.Series // occasional snowfall intensity
+	Collisions         series.Series // city-wide accident counts (C7, C8)
+	PedestrianInjured  series.Series // rain-driven with 30 min–2 h delay (C9)
+	MotoristKilled     series.Series // wind-driven with 15–60 min delay (C10)
+	CyclistInjured     series.Series // wind-driven, secondary
+	CollisionsBaseline series.Series // control: traffic volume with no weather coupling
+}
+
+// SimulateCity builds the feeds: weather processes with storm events, and
+// incident counts that rise a sampled delay after the driving weather — rain
+// affects pedestrians and total collisions after 30 min–2 h, wind affects
+// motorists and cyclists after 15–60 min, mirroring the delay ranges the
+// paper reports for C7–C10.
+func SimulateCity(opts CityOptions) City {
+	if opts.Days <= 0 {
+		opts.Days = 14
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.Days * StepsPerDay
+
+	c := City{
+		Precipitation:      series.Series{Name: "precipitation", Step: 5, Values: make([]float64, n)},
+		WindSpeed:          series.Series{Name: "wind_speed", Step: 5, Values: make([]float64, n)},
+		Snow:               series.Series{Name: "snow", Step: 5, Values: make([]float64, n)},
+		Collisions:         series.Series{Name: "collisions", Step: 5, Values: make([]float64, n)},
+		PedestrianInjured:  series.Series{Name: "pedestrian_injured", Step: 5, Values: make([]float64, n)},
+		MotoristKilled:     series.Series{Name: "motorist_killed", Step: 5, Values: make([]float64, n)},
+		CyclistInjured:     series.Series{Name: "cyclist_injured", Step: 5, Values: make([]float64, n)},
+		CollisionsBaseline: series.Series{Name: "collisions_baseline", Step: 5, Values: make([]float64, n)},
+	}
+
+	// Wind: AR(1) around a diurnal mean with occasional multi-hour gust
+	// events.
+	wind := 5.0
+	for i := 0; i < n; i++ {
+		diurnal := 5 + 2*math.Sin(2*math.Pi*float64(i%StepsPerDay)/StepsPerDay)
+		wind = 0.95*wind + 0.05*diurnal + 0.6*rng.NormFloat64()
+		if wind < 0 {
+			wind = 0
+		}
+		c.WindSpeed.Values[i] = wind
+	}
+	// Gust events: raise wind for 1–4 hours.
+	for e := 0; e < opts.Days/2+1; e++ {
+		start := rng.Intn(n)
+		dur := 12 + rng.Intn(36)
+		boost := 6 + 6*rng.Float64()
+		for i := start; i < start+dur && i < n; i++ {
+			c.WindSpeed.Values[i] += boost * (0.7 + 0.6*rng.Float64())
+		}
+	}
+
+	// Rain: storms of 1–6 hours, roughly one every other day; snow: rare
+	// longer events.
+	for e := 0; e < opts.Days; e++ {
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		start := rng.Intn(n)
+		dur := 12 + rng.Intn(60)
+		peak := 2 + 8*rng.Float64()
+		addWeatherEvent(c.Precipitation.Values, start, dur, peak, rng)
+	}
+	for e := 0; e < opts.Days/5+1; e++ {
+		start := rng.Intn(n)
+		dur := 48 + rng.Intn(96)
+		addWeatherEvent(c.Snow.Values, start, dur, 1.5+2*rng.Float64(), rng)
+	}
+
+	// Incidents: Poisson-like baseline modulated by traffic rhythm, plus
+	// delayed weather-driven surges.
+	for i := 0; i < n; i++ {
+		traffic := 1 + 0.8*math.Sin(2*math.Pi*(float64(i%StepsPerDay)/StepsPerDay-0.25))
+		if traffic < 0.2 {
+			traffic = 0.2
+		}
+		c.Collisions.Values[i] = poissonish(rng, 1.5*traffic)
+		c.CollisionsBaseline.Values[i] = poissonish(rng, 1.5*traffic)
+		c.PedestrianInjured.Values[i] = poissonish(rng, 0.4*traffic)
+		c.MotoristKilled.Values[i] = poissonish(rng, 0.3*traffic)
+		c.CyclistInjured.Values[i] = poissonish(rng, 0.3*traffic)
+	}
+	// Rain → collisions and pedestrian injuries, delayed 30 min–2 h
+	// (6–24 steps).
+	rainDelay := 6 + rng.Intn(19)
+	pedDelay := 6 + rng.Intn(19)
+	for i := 0; i < n; i++ {
+		r := c.Precipitation.Values[i]
+		if r <= 0.1 {
+			continue
+		}
+		if j := i + rainDelay; j < n {
+			c.Collisions.Values[j] += poissonish(rng, 3.0*r)
+		}
+		if j := i + pedDelay; j < n {
+			c.PedestrianInjured.Values[j] += poissonish(rng, 2.5*r)
+		}
+	}
+	// Snow → collisions, delayed 15–60 min (3–12 steps): the (Snow,
+	// Collision) pair drives the paper's s_max/td_max convergence study
+	// (Fig. 13b/c).
+	snowDelay := 3 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		s := c.Snow.Values[i]
+		if s <= 0.1 {
+			continue
+		}
+		if j := i + snowDelay; j < n {
+			c.Collisions.Values[j] += poissonish(rng, 3.5*s)
+		}
+	}
+	// Wind → motorist/cyclist incidents, delayed 15–60 min (3–12 steps);
+	// wind also contributes to total collisions.
+	windDelay := 3 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		w := c.WindSpeed.Values[i]
+		if w <= 9 {
+			continue // only strong wind matters
+		}
+		excess := (w - 9) / 2
+		if j := i + windDelay; j < n {
+			c.MotoristKilled.Values[j] += poissonish(rng, 2.5*excess)
+			c.CyclistInjured.Values[j] += poissonish(rng, 2.0*excess)
+			c.Collisions.Values[j] += poissonish(rng, 1.5*excess)
+		}
+	}
+	return c
+}
+
+// Series returns every feed, keyed by name.
+func (c City) Series() map[string]series.Series {
+	out := make(map[string]series.Series)
+	for _, s := range []series.Series{
+		c.Precipitation, c.WindSpeed, c.Snow, c.Collisions,
+		c.PedestrianInjured, c.MotoristKilled, c.CyclistInjured,
+		c.CollisionsBaseline,
+	} {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// addWeatherEvent writes a triangular-envelope intensity event.
+func addWeatherEvent(v []float64, start, dur int, peak float64, rng *rand.Rand) {
+	for i := 0; i < dur; i++ {
+		idx := start + i
+		if idx >= len(v) {
+			return
+		}
+		frac := float64(i) / float64(dur)
+		envelope := 1 - math.Abs(2*frac-1)
+		v[idx] += peak * envelope * (0.7 + 0.6*rng.Float64())
+	}
+}
+
+// poissonish draws a cheap Poisson-like count with the given mean using the
+// Knuth method for small means and a normal approximation above 30.
+func poissonish(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		return math.Round(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return float64(k)
+		}
+		k++
+		if k > 1000 {
+			return float64(k)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"testing"
+
+	"tycos/internal/baseline"
+	"tycos/internal/series"
+)
+
+func TestEnergyShape(t *testing.T) {
+	h := Energy(EnergyOptions{Days: 3, Seed: 7})
+	all := h.Series()
+	if len(all) != 9 {
+		t.Fatalf("expected 9 device series, got %d", len(all))
+	}
+	n := 3 * MinutesPerDay
+	for name, s := range all {
+		if s.Len() != n {
+			t.Errorf("%s length %d, want %d", name, s.Len(), n)
+		}
+		st := s.Stats()
+		if st.Min < 0 {
+			t.Errorf("%s has negative consumption %v", name, st.Min)
+		}
+		if st.Max <= st.Min {
+			t.Errorf("%s is flat", name)
+		}
+	}
+}
+
+func TestEnergyDeterministic(t *testing.T) {
+	a := Energy(EnergyOptions{Days: 2, Seed: 3})
+	b := Energy(EnergyOptions{Days: 2, Seed: 3})
+	for i, v := range a.Kitchen.Values {
+		if b.Kitchen.Values[i] != v {
+			t.Fatal("Energy not deterministic")
+		}
+	}
+	c := Energy(EnergyOptions{Days: 2, Seed: 4})
+	same := true
+	for i, v := range a.Kitchen.Values {
+		if c.Kitchen.Values[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// lagPearson returns max |r| of x against y shifted by each lag in
+// [0, maxLag], and the argmax lag — a cheap detector for "does a delayed
+// dependency exist at the injected scale".
+func lagPearson(x, y []float64, maxLag int) (bestR float64, bestLag int) {
+	for lag := 0; lag <= maxLag; lag++ {
+		r := baseline.Pearson(x[:len(x)-lag], y[lag:])
+		if r < 0 {
+			r = -r
+		}
+		if r > bestR {
+			bestR, bestLag = r, lag
+		}
+	}
+	return bestR, bestLag
+}
+
+func TestEnergyInjectedDelays(t *testing.T) {
+	h := Energy(EnergyOptions{Days: 7, Seed: 5})
+	// Washer → dryer delayed 10–30 min after a 50–70 min cycle: the lag
+	// correlation should peak somewhere past 30 minutes and beat the
+	// aligned correlation.
+	r, lag := lagPearson(h.ClothesWasher.Values, h.Dryer.Values, 180)
+	if r < 0.2 {
+		t.Errorf("washer→dryer max lag correlation %.3f too weak", r)
+	}
+	if lag < 10 {
+		t.Errorf("washer→dryer correlation peaks at lag %d, want a delayed peak", lag)
+	}
+	// Bathroom light → kitchen light delayed 1–5 min.
+	r, lag = lagPearson(h.BathroomLight.Values, h.KitchenLight.Values, 30)
+	if r < 0.15 {
+		t.Errorf("bathroom→kitchen light correlation %.3f too weak", r)
+	}
+	_ = lag
+}
+
+func TestCityShape(t *testing.T) {
+	c := SimulateCity(CityOptions{Days: 7, Seed: 11})
+	all := c.Series()
+	if len(all) != 8 {
+		t.Fatalf("expected 8 feeds, got %d", len(all))
+	}
+	n := 7 * StepsPerDay
+	for name, s := range all {
+		if s.Len() != n {
+			t.Errorf("%s length %d, want %d", name, s.Len(), n)
+		}
+		for i, v := range s.Values {
+			if v < 0 {
+				t.Errorf("%s[%d] = %v negative", name, i, v)
+				break
+			}
+		}
+	}
+}
+
+func TestCityInjectedDelays(t *testing.T) {
+	c := SimulateCity(CityOptions{Days: 21, Seed: 13})
+	// Rain → collisions must correlate best at a positive lag within 2 h
+	// (24 steps).
+	r, lag := lagPearson(c.Precipitation.Values, c.Collisions.Values, 36)
+	if r < 0.15 {
+		t.Errorf("rain→collisions max correlation %.3f too weak", r)
+	}
+	if lag < 3 || lag > 30 {
+		t.Errorf("rain→collisions peak at lag %d, want within the injected 6–24", lag)
+	}
+	// The control series must not couple to rain.
+	r0, _ := lagPearson(c.Precipitation.Values, c.CollisionsBaseline.Values, 36)
+	if r0 >= r {
+		t.Errorf("control series correlates with rain as much as the coupled one (%.3f vs %.3f)", r0, r)
+	}
+}
+
+func TestCityCSVRoundTrip(t *testing.T) {
+	// The simulators must interoperate with the series CSV layer, since
+	// cmd/datagen persists them.
+	c := SimulateCity(CityOptions{Days: 2, Seed: 3})
+	dir := t.TempDir()
+	path := dir + "/city.csv"
+	if err := series.SaveCSV(path, c.Precipitation, c.Collisions); err != nil {
+		t.Fatal(err)
+	}
+	p, err := series.LoadPairCSV(path, "precipitation", "collisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != c.Precipitation.Len() {
+		t.Errorf("round-trip length %d", p.Len())
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The drivers are exercised end-to-end by cmd/benchgen and the root
+// benchmarks; the tests here verify structure and the cheap invariants on
+// minimal workloads.
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Header: []string{"a", "bee"}}
+	tb.Append(1, 2.5)
+	tb.Append("hello, world", "q\"q")
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# x — demo") || !strings.Contains(out, "2.500") {
+		t.Errorf("render output:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"hello, world"`) || !strings.Contains(csv, `"q""q"`) {
+		t.Errorf("CSV quoting wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,bee\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).seed() != 1 {
+		t.Error("zero seed must default to 1")
+	}
+	if (Config{Seed: 9}).seed() != 9 {
+		t.Error("explicit seed lost")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Log: &buf}
+	cfg.logf("hi %d", 3)
+	if buf.String() != "hi 3\n" {
+		t.Errorf("logf output %q", buf.String())
+	}
+	// A nil log must not panic.
+	Config{}.logf("ignored")
+	if mark(true) != "yes" || mark(false) != "no" {
+		t.Error("mark labels wrong")
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	tb := Table2(Config{})
+	if len(tb.Rows) != 6 || len(tb.Header) != 3 {
+		t.Errorf("table2 shape: %d rows, %d cols", len(tb.Rows), len(tb.Header))
+	}
+}
+
+func TestFig4And6Shapes(t *testing.T) {
+	f4 := Fig4(Config{Quick: true})
+	if len(f4.Rows) < 10 {
+		t.Errorf("fig4 rows = %d", len(f4.Rows))
+	}
+	f6 := Fig6(Config{Quick: true})
+	if len(f6.Rows) < 5 {
+		t.Errorf("fig6 rows = %d", len(f6.Rows))
+	}
+	// Fig 6's point: the prefix-free curve should dominate on average.
+	var incl, excl float64
+	for _, r := range f6.Rows {
+		var a, b float64
+		if _, err := sscan(r[1], &a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[2], &b); err != nil {
+			t.Fatal(err)
+		}
+		incl += a
+		excl += b
+	}
+	if excl <= incl {
+		t.Errorf("excluding the noisy prefix should raise MI: incl=%.3f excl=%.3f", incl, excl)
+	}
+}
+
+func TestFig13CConvergence(t *testing.T) {
+	tb := Fig13C(Config{Quick: true})
+	if len(tb.Rows) < 3 {
+		t.Fatalf("fig13c rows = %d", len(tb.Rows))
+	}
+	// With td_max = 0 the delayed snow→collision coupling is invisible or
+	// weaker than with a covering bound; window counts must not explode as
+	// td_max grows past the injected delay.
+	var counts []float64
+	for _, r := range tb.Rows {
+		var c float64
+		if _, err := sscan(r[1], &c); err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, c)
+	}
+	last := counts[len(counts)-1]
+	prev := counts[len(counts)-2]
+	if last != 0 && prev != 0 {
+		ratio := last / prev
+		if ratio > 3 || ratio < 1.0/3 {
+			t.Errorf("window count should stabilise for covering td_max: %v", counts)
+		}
+	}
+}
+
+// sscan parses a single float from s.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestFormatMinutes(t *testing.T) {
+	if formatMinutes(30) != "30m" {
+		t.Errorf("30 → %q", formatMinutes(30))
+	}
+	if formatMinutes(90) != "1.5h" {
+		t.Errorf("90 → %q", formatMinutes(90))
+	}
+	if formatMinutes(0) != "0m" {
+		t.Errorf("0 → %q", formatMinutes(0))
+	}
+}
+
+func TestFig13BQuickShape(t *testing.T) {
+	tb := Fig13B(Config{Quick: true})
+	if len(tb.Rows) < 2 {
+		t.Fatalf("fig13b rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != 3 {
+			t.Errorf("row shape: %v", r)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package fft implements the fast Fourier transform machinery required by
+// the MASS and MatrixProfile baselines: an iterative radix-2 FFT, Bluestein's
+// chirp-z algorithm for arbitrary lengths, convolution, and the FFT-based
+// sliding dot product that underlies z-normalised Euclidean distance
+// profiles (Rakthanmanon et al. 2012; Yeh et al. 2016).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place-free discrete Fourier transform of x and returns
+// the result. Any length is accepted: powers of two use the radix-2
+// algorithm directly, other lengths go through Bluestein's algorithm.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse DFT of x (including the 1/n scaling).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = make([]complex128, n)
+		copy(out, x)
+		radix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// radix2 runs the iterative Cooley–Tukey FFT on a power-of-two-length slice,
+// in place. inverse selects the conjugate transform (unscaled).
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length as a convolution of
+// power-of-two length.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w_j = exp(sign·iπ j² / n).
+	w := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j² mod 2n avoids precision loss for large j.
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		w[j] = cmplx.Exp(complex(0, sign*math.Pi*float64(jj)/float64(n)))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = x[j] * w[j]
+		b[j] = cmplx.Conj(w[j])
+	}
+	for j := 1; j < n; j++ {
+		b[m-j] = cmplx.Conj(w[j])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for j := range a {
+		a[j] *= b[j]
+	}
+	radix2(a, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for j := 0; j < n; j++ {
+		out[j] = a[j] * scale * w[j]
+	}
+	return out
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)−1) computed via FFT.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n := len(a) + len(b) - 1
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	radix2(fa, false)
+	radix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	radix2(fa, true)
+	out := make([]float64, n)
+	scale := 1 / float64(m)
+	for i := 0; i < n; i++ {
+		out[i] = real(fa[i]) * scale
+	}
+	return out
+}
+
+// SlidingDotProducts returns, for every alignment i in [0, len(ts)−len(q)],
+// the dot product Σ_j q[j]·ts[i+j] of the query against the series window
+// starting at i, computed in O(n log n) with one convolution (the core trick
+// of MASS).
+func SlidingDotProducts(q, ts []float64) ([]float64, error) {
+	m, n := len(q), len(ts)
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("fft: empty input (|q|=%d, |ts|=%d)", m, n)
+	}
+	if m > n {
+		return nil, fmt.Errorf("fft: query length %d exceeds series length %d", m, n)
+	}
+	// Convolving ts with the reversed query puts the alignment-i dot product
+	// at output index i+m−1.
+	rq := make([]float64, m)
+	for i, v := range q {
+		rq[m-1-i] = v
+	}
+	conv := Convolve(ts, rq)
+	out := make([]float64, n-m+1)
+	copy(out, conv[m-1:m-1+len(out)])
+	return out, nil
+}

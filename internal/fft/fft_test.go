@@ -1,0 +1,183 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 64, 100} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x)
+		if !complexClose(got, want, 1e-8*float64(n)) {
+			t.Errorf("FFT length %d mismatch", n)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 6, 8, 15, 16, 27, 64, 129} {
+		x := randComplex(rng, n)
+		back := IFFT(FFT(x))
+		if !complexClose(back, x, 1e-9*float64(n)) {
+			t.Errorf("round trip length %d mismatch", n)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if FFT(nil) != nil || IFFT(nil) != nil {
+		t.Error("empty transforms must return nil")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x|² = (1/n)·Σ|X|² must hold for any signal.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(120)
+		x := randComplex(rng, n)
+		X := FFT(x)
+		var e1, e2 float64
+		for i := range x {
+			e1 += real(x[i] * cmplx.Conj(x[i]))
+			e2 += real(X[i] * cmplx.Conj(X[i]))
+		}
+		e2 /= float64(n)
+		return math.Abs(e1-e2) <= 1e-7*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := 1+rng.Intn(40), 1+rng.Intn(40)
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := Convolve(a, b)
+		want := make([]float64, na+nb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: conv[%d]=%v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("empty convolution must be nil")
+	}
+}
+
+func TestSlidingDotProducts(t *testing.T) {
+	q := []float64{1, 2}
+	ts := []float64{1, 0, -1, 3, 2}
+	got, err := SlidingDotProducts(q, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1*1 + 2*0, 1*0 + 2*-1, -1 + 2*3, 3 + 2*2}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("dot[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlidingDotProductsErrors(t *testing.T) {
+	if _, err := SlidingDotProducts(nil, []float64{1}); err == nil {
+		t.Error("empty query must fail")
+	}
+	if _, err := SlidingDotProducts([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("query longer than series must fail")
+	}
+}
+
+func TestSlidingDotProductsMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(20)
+		n := m + rng.Intn(100)
+		q := make([]float64, m)
+		ts := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		for i := range ts {
+			ts[i] = rng.NormFloat64()
+		}
+		got, err := SlidingDotProducts(q, ts)
+		if err != nil {
+			return false
+		}
+		for i := 0; i <= n-m; i++ {
+			var dot float64
+			for j := 0; j < m; j++ {
+				dot += q[j] * ts[i+j]
+			}
+			if math.Abs(got[i]-dot) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

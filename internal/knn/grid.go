@@ -1,0 +1,301 @@
+package knn
+
+import "math"
+
+// Grid is a dynamic uniform-grid index over 2-D points supporting insertion,
+// removal, kNN queries and rectangle scans. It is the backend of the
+// incremental MI computation (Section 7): when a window slides, only a few
+// points enter or leave, and the grid keeps neighbourhood queries local.
+//
+// Points are identified by caller-chosen non-negative ids. The cell size
+// should be on the order of the typical kth-neighbour distance; NewGridFor
+// derives one from a sample of the data.
+// cellEntry stores a point inline with its id so ring scans touch one map
+// bucket per cell instead of one per candidate point.
+type cellEntry struct {
+	id int
+	p  Point
+}
+
+type Grid struct {
+	cell  float64
+	cells map[[2]int32][]cellEntry
+	pts   map[int]Point
+	// Occupied-cell bounding box, maintained on insert (conservatively kept
+	// on remove). It bounds the ring search in O(1) instead of scanning the
+	// cell map per query.
+	boundsValid  bool
+	minCx, maxCx int32
+	minCy, maxCy int32
+}
+
+// NewGrid returns an empty grid with the given cell size (must be positive;
+// non-positive values fall back to 1).
+func NewGrid(cellSize float64) *Grid {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		cellSize = 1
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[[2]int32][]cellEntry),
+		pts:   make(map[int]Point),
+	}
+}
+
+// NewGridFor returns an empty grid whose cell size is tuned for the given
+// sample of points and neighbour count k: roughly the spacing at which a
+// cell holds O(k) points, so ring searches terminate after a few rings.
+func NewGridFor(sample []Point, k int) *Grid {
+	if len(sample) == 0 {
+		return NewGrid(1)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range sample {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	span := math.Max(maxX-minX, maxY-minY)
+	if span <= 0 {
+		return NewGrid(1)
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Aim for ~n/k occupied cells along the dominant span.
+	cellsPerAxis := math.Sqrt(float64(len(sample)) / float64(k))
+	if cellsPerAxis < 1 {
+		cellsPerAxis = 1
+	}
+	return NewGrid(span / cellsPerAxis)
+}
+
+// Len returns the number of points currently in the grid.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Point returns the point stored under id and whether it exists.
+func (g *Grid) Point(id int) (Point, bool) {
+	p, ok := g.pts[id]
+	return p, ok
+}
+
+func (g *Grid) key(p Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// Insert adds the point under id. Inserting an existing id replaces its
+// point.
+func (g *Grid) Insert(id int, p Point) {
+	if old, ok := g.pts[id]; ok {
+		g.removeFromCell(g.key(old), id)
+	}
+	g.pts[id] = p
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], cellEntry{id: id, p: p})
+	if !g.boundsValid {
+		g.minCx, g.maxCx, g.minCy, g.maxCy = k[0], k[0], k[1], k[1]
+		g.boundsValid = true
+		return
+	}
+	if k[0] < g.minCx {
+		g.minCx = k[0]
+	}
+	if k[0] > g.maxCx {
+		g.maxCx = k[0]
+	}
+	if k[1] < g.minCy {
+		g.minCy = k[1]
+	}
+	if k[1] > g.maxCy {
+		g.maxCy = k[1]
+	}
+}
+
+// Remove deletes the point under id, reporting whether it existed.
+func (g *Grid) Remove(id int) bool {
+	p, ok := g.pts[id]
+	if !ok {
+		return false
+	}
+	g.removeFromCell(g.key(p), id)
+	delete(g.pts, id)
+	if len(g.pts) == 0 {
+		g.boundsValid = false
+	}
+	return true
+}
+
+func (g *Grid) removeFromCell(k [2]int32, id int) {
+	bucket := g.cells[k]
+	for i := range bucket {
+		if bucket[i].id == id {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = bucket
+	}
+}
+
+// KNearest implements Index via an expanding ring search: candidates are
+// gathered cell ring by cell ring until the kth-best distance provably beats
+// every unvisited ring.
+func (g *Grid) KNearest(q Point, k, exclude int) []Neighbor {
+	return g.KNearestInto(q, k, exclude, nil)
+}
+
+// KNearestInto is KNearest reusing buf's backing array for the result,
+// letting hot loops (the incremental MI refreshes) run allocation-free.
+func (g *Grid) KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor {
+	if k <= 0 || len(g.pts) == 0 {
+		return nil
+	}
+	h := maxHeap(buf[:0])
+	center := g.key(q)
+	// The bounding box of occupied cells caps the ring search; the box is
+	// conservative after removals, but empty rings cost only their perimeter
+	// lookups.
+	maxRing := int32(0)
+	for _, d := range [4]int32{
+		center[0] - g.minCx, g.maxCx - center[0],
+		center[1] - g.minCy, g.maxCy - center[1],
+	} {
+		if d > maxRing {
+			maxRing = d
+		}
+	}
+	for r := int32(0); r <= maxRing; r++ {
+		g.scanRing(center, r, q, k, exclude, &h)
+		// Any point in a ring > r is at least r·cell away (the query point
+		// sits somewhere inside the centre cell, so ring r+1 cells start at
+		// L∞ distance ≥ r·cell).
+		if len(h) >= k && h.worst() <= float64(r)*g.cell {
+			break
+		}
+	}
+	h.sortInPlace()
+	return h
+}
+
+func (g *Grid) scanRing(center [2]int32, r int32, q Point, k, exclude int, h *maxHeap) {
+	visit := func(cx, cy int32) {
+		for _, e := range g.cells[[2]int32{cx, cy}] {
+			if e.id == exclude {
+				continue
+			}
+			h.push(Neighbor{Index: e.id, Dist: Chebyshev(q, e.p)}, k)
+		}
+	}
+	if r == 0 {
+		visit(center[0], center[1])
+		return
+	}
+	for dx := -r; dx <= r; dx++ {
+		visit(center[0]+dx, center[1]-r)
+		visit(center[0]+dx, center[1]+r)
+	}
+	for dy := -r + 1; dy <= r-1; dy++ {
+		visit(center[0]-r, center[1]+dy)
+		visit(center[0]+r, center[1]+dy)
+	}
+}
+
+// VisitRect calls fn for every point id whose coordinates fall inside the
+// closed rectangle [xlo,xhi]×[ylo,yhi].
+func (g *Grid) VisitRect(xlo, xhi, ylo, yhi float64, fn func(id int, p Point)) {
+	if xlo > xhi || ylo > yhi {
+		return
+	}
+	cx0 := int32(math.Floor(xlo / g.cell))
+	cx1 := int32(math.Floor(xhi / g.cell))
+	cy0 := int32(math.Floor(ylo / g.cell))
+	cy1 := int32(math.Floor(yhi / g.cell))
+	// When the rectangle spans more cells than there are points, iterating
+	// the point map directly is cheaper.
+	if int64(cx1-cx0+1)*int64(cy1-cy0+1) > int64(len(g.pts)) {
+		for id, p := range g.pts {
+			if p.X >= xlo && p.X <= xhi && p.Y >= ylo && p.Y <= yhi {
+				fn(id, p)
+			}
+		}
+		return
+	}
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := cy0; cy <= cy1; cy++ {
+			for _, e := range g.cells[[2]int32{cx, cy}] {
+				if e.p.X >= xlo && e.p.X <= xhi && e.p.Y >= ylo && e.p.Y <= yhi {
+					fn(e.id, e.p)
+				}
+			}
+		}
+	}
+}
+
+// CountRect returns the number of points inside the closed rectangle.
+func (g *Grid) CountRect(xlo, xhi, ylo, yhi float64) int {
+	n := 0
+	g.VisitRect(xlo, xhi, ylo, yhi, func(int, Point) { n++ })
+	return n
+}
+
+// VisitSquare calls fn for every point within L∞ distance d of q (a closed
+// square query).
+func (g *Grid) VisitSquare(q Point, d float64, fn func(id int, p Point)) {
+	g.VisitRect(q.X-d, q.X+d, q.Y-d, q.Y+d, fn)
+}
+
+// VisitStripX calls fn for every point whose X coordinate lies in the closed
+// interval [xlo, xhi], regardless of Y. The scan is bounded by the occupied
+// cell box.
+func (g *Grid) VisitStripX(xlo, xhi float64, fn func(id int, p Point)) {
+	if !g.boundsValid || xlo > xhi {
+		return
+	}
+	cx0 := clampCell(int64(floorDiv(xlo, g.cell)), g.minCx, g.maxCx)
+	cx1 := clampCell(int64(floorDiv(xhi, g.cell)), g.minCx, g.maxCx)
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := g.minCy; cy <= g.maxCy; cy++ {
+			for _, e := range g.cells[[2]int32{cx, cy}] {
+				if e.p.X >= xlo && e.p.X <= xhi {
+					fn(e.id, e.p)
+				}
+			}
+		}
+	}
+}
+
+// VisitStripY is VisitStripX for the Y dimension.
+func (g *Grid) VisitStripY(ylo, yhi float64, fn func(id int, p Point)) {
+	if !g.boundsValid || ylo > yhi {
+		return
+	}
+	cy0 := clampCell(int64(floorDiv(ylo, g.cell)), g.minCy, g.maxCy)
+	cy1 := clampCell(int64(floorDiv(yhi, g.cell)), g.minCy, g.maxCy)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := g.minCx; cx <= g.maxCx; cx++ {
+			for _, e := range g.cells[[2]int32{cx, cy}] {
+				if e.p.Y >= ylo && e.p.Y <= yhi {
+					fn(e.id, e.p)
+				}
+			}
+		}
+	}
+}
+
+func floorDiv(v, cell float64) float64 { return math.Floor(v / cell) }
+
+func clampCell(v int64, lo, hi int32) int32 {
+	if v < int64(lo) {
+		return lo
+	}
+	if v > int64(hi) {
+		return hi
+	}
+	return int32(v)
+}

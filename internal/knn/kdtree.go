@@ -1,0 +1,101 @@
+package knn
+
+import "sort"
+
+// KDTree is a static 2-d tree over a point set, built once in O(n log n) and
+// answering kNN queries in O(k log n) expected time. It is the default
+// backend for batch KSG estimation.
+type KDTree struct {
+	pts   []Point
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	point       int // index into pts
+	axis        int // 0 = x, 1 = y
+	left, right int // node indices, −1 if absent
+}
+
+// NewKDTree builds a balanced 2-d tree over pts. The slice is not copied;
+// the tree references points by their index in pts.
+func NewKDTree(pts []Point) *KDTree {
+	t := &KDTree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int, depth int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % 2
+	sort.Slice(idx, func(a, b int) bool {
+		if axis == 0 {
+			return t.pts[idx[a]].X < t.pts[idx[b]].X
+		}
+		return t.pts[idx[a]].Y < t.pts[idx[b]].Y
+	})
+	mid := len(idx) / 2
+	node := kdNode{point: idx[mid], axis: axis}
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// KNearest implements Index.
+func (t *KDTree) KNearest(q Point, k, exclude int) []Neighbor {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := make(maxHeap, 0, k)
+	t.search(t.root, q, k, exclude, &h)
+	return h.sorted()
+}
+
+func (t *KDTree) search(id int, q Point, k, exclude int, h *maxHeap) {
+	if id < 0 {
+		return
+	}
+	n := t.nodes[id]
+	p := t.pts[n.point]
+	if n.point != exclude {
+		h.push(Neighbor{Index: n.point, Dist: Chebyshev(q, p)}, k)
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q.X - p.X
+	} else {
+		diff = q.Y - p.Y
+	}
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, k, exclude, h)
+	// Under L∞ the splitting-plane distance is |diff|; the far subtree can
+	// only matter when |diff| is within the current worst distance (or the
+	// heap is not yet full).
+	abs := diff
+	if abs < 0 {
+		abs = -abs
+	}
+	if len(*h) < k || abs <= h.worst() {
+		t.search(far, q, k, exclude, h)
+	}
+}

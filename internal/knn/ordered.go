@@ -1,0 +1,54 @@
+package knn
+
+import "sort"
+
+// OrderedMultiset is a sorted multiset of float64 values supporting
+// logarithmic interval counting and linear-shift insert/remove. The KSG
+// marginal counts n_x, n_y of Eq. (2) are interval counts over one
+// dimension, and the incremental estimator keeps one multiset per axis.
+type OrderedMultiset struct {
+	vals []float64
+}
+
+// NewOrderedMultiset returns a multiset pre-populated with vals.
+func NewOrderedMultiset(vals []float64) *OrderedMultiset {
+	m := &OrderedMultiset{vals: make([]float64, len(vals))}
+	copy(m.vals, vals)
+	sort.Float64s(m.vals)
+	return m
+}
+
+// Len returns the number of stored values (with multiplicity).
+func (m *OrderedMultiset) Len() int { return len(m.vals) }
+
+// Insert adds v, keeping the set sorted.
+func (m *OrderedMultiset) Insert(v float64) {
+	i := sort.SearchFloat64s(m.vals, v)
+	m.vals = append(m.vals, 0)
+	copy(m.vals[i+1:], m.vals[i:])
+	m.vals[i] = v
+}
+
+// Remove deletes one occurrence of v, reporting whether it was present.
+func (m *OrderedMultiset) Remove(v float64) bool {
+	i := sort.SearchFloat64s(m.vals, v)
+	if i >= len(m.vals) || m.vals[i] != v {
+		return false
+	}
+	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+	return true
+}
+
+// CountWithin returns the number of stored values u with |u − center| ≤ d.
+func (m *OrderedMultiset) CountWithin(center, d float64) int {
+	lo := sort.SearchFloat64s(m.vals, center-d)
+	// Upper bound: first index with value > center+d.
+	hi := sort.Search(len(m.vals), func(i int) bool { return m.vals[i] > center+d })
+	return hi - lo
+}
+
+// Min returns the smallest value; it panics on an empty set.
+func (m *OrderedMultiset) Min() float64 { return m.vals[0] }
+
+// Max returns the largest value; it panics on an empty set.
+func (m *OrderedMultiset) Max() float64 { return m.vals[len(m.vals)-1] }

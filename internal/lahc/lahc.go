@@ -1,0 +1,116 @@
+// Package lahc implements Late Acceptance Hill-Climbing (Burke & Bykov,
+// EJOR 2017), the local-search metaheuristic TYCOS is built on (Section 3.2
+// and Algorithm 1 of the paper).
+//
+// LAHC extends classic hill climbing with a fixed-length history L_h of
+// recently accepted objective values: a candidate is accepted when it beats
+// either the current solution or a value drawn from the history, which lets
+// the search traverse plateaus and mild setbacks. TYCOS uses the "random"
+// policy for selecting and updating history entries (Algorithm 1, lines 9
+// and 16–18), which is what Acceptor implements.
+package lahc
+
+import "math/rand"
+
+// DefaultHistoryLength is the history size used when none is configured.
+const DefaultHistoryLength = 16
+
+// Acceptor encapsulates the LAHC acceptance rule for a maximisation
+// objective. The zero value is not usable; construct with New.
+type Acceptor struct {
+	history []float64
+	rng     *rand.Rand
+}
+
+// New returns an acceptor whose history has the given length, initialised to
+// the objective value of the initial solution. Length values below 1 become
+// DefaultHistoryLength. The provided rng drives the random history policy;
+// it must be non-nil.
+func New(length int, initial float64, rng *rand.Rand) *Acceptor {
+	if length < 1 {
+		length = DefaultHistoryLength
+	}
+	h := make([]float64, length)
+	for i := range h {
+		h[i] = initial
+	}
+	return &Acceptor{history: h, rng: rng}
+}
+
+// Consider applies the acceptance policies of Algorithm 1 to a candidate
+// objective value:
+//
+//	Policy 1: accept if candidate ≥ history probe or candidate > current.
+//	Policy 2: reject otherwise.
+//
+// The comparison against the history probe is non-strict, following the
+// canonical LAHC acceptance of Burke & Bykov: that is what lets the walk
+// drift across plateaus, the behaviour the paper relies on ("helpful ...
+// when the search needs to escape from plateau situations"). Callers that
+// need a stopping signal should treat only strict improvements of the
+// returned current value as progress (see IdleCounter).
+//
+// After the decision the probed history slot is updated to the (possibly
+// new) current value when that improves the slot. It returns the new current
+// value and whether the candidate was accepted.
+func (a *Acceptor) Consider(current, candidate float64) (newCurrent float64, accepted bool) {
+	slot := a.rng.Intn(len(a.history))
+	probe := a.history[slot]
+	if candidate >= probe || candidate > current {
+		current = candidate
+		accepted = true
+	}
+	if current > probe {
+		a.history[slot] = current
+	}
+	return current, accepted
+}
+
+// History returns a copy of the current history list (for inspection and
+// tests).
+func (a *Acceptor) History() []float64 {
+	out := make([]float64, len(a.history))
+	copy(out, a.history)
+	return out
+}
+
+// Reset refills every history slot with the given value, used when the
+// search restarts on the unscanned remainder of the data.
+func (a *Acceptor) Reset(value float64) {
+	for i := range a.history {
+		a.history[i] = value
+	}
+}
+
+// IdleCounter tracks consecutive non-improvements against a maximum idle
+// budget (the stopping condition of Algorithm 1, line 4).
+type IdleCounter struct {
+	idle int
+	max  int
+}
+
+// NewIdleCounter returns a counter that reports exhaustion after max
+// consecutive failures. Values below 1 become 1.
+func NewIdleCounter(max int) *IdleCounter {
+	if max < 1 {
+		max = 1
+	}
+	return &IdleCounter{max: max}
+}
+
+// Step records an iteration outcome and reports whether the search should
+// continue (true) or stop (false).
+func (c *IdleCounter) Step(improved bool) bool {
+	if improved {
+		c.idle = 0
+		return true
+	}
+	c.idle++
+	return c.idle < c.max
+}
+
+// Exhausted reports whether the idle budget has been spent.
+func (c *IdleCounter) Exhausted() bool { return c.idle >= c.max }
+
+// Reset clears the idle count.
+func (c *IdleCounter) Reset() { c.idle = 0 }

@@ -1,0 +1,145 @@
+package lahc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAcceptorBasicPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 0.0, rng)
+	// Better candidate is always accepted (Policy 1, current branch).
+	cur, ok := a.Consider(0.0, 0.5)
+	if !ok || cur != 0.5 {
+		t.Fatalf("better candidate rejected: cur=%v ok=%v", cur, ok)
+	}
+	// Worse-than-everything candidate is rejected (Policy 2): history is
+	// all ≥ 0, candidate −1 beats nothing.
+	cur, ok = a.Consider(cur, -1)
+	if ok || cur != 0.5 {
+		t.Fatalf("hopeless candidate accepted: cur=%v ok=%v", cur, ok)
+	}
+}
+
+func TestAcceptorLateAcceptance(t *testing.T) {
+	// A candidate worse than current but better than a stale history value
+	// must be acceptable — that is the "late acceptance" behaviour.
+	rng := rand.New(rand.NewSource(2))
+	a := New(1, 0.0, rng) // single slot: probe is deterministic
+	// Current jumps to 10, history slot becomes 10 after the update rule.
+	cur, _ := a.Consider(0, 10)
+	if cur != 10 {
+		t.Fatal("setup failed")
+	}
+	// History now holds 10; candidate 5 beats neither current nor probe.
+	if _, ok := a.Consider(cur, 5); ok {
+		t.Error("candidate below history and current must be rejected")
+	}
+	// Fresh acceptor with stale low history: candidate below current but
+	// above probe is accepted.
+	b := New(1, 1.0, rng)
+	if _, ok := b.Consider(10, 5); !ok {
+		t.Error("late acceptance: candidate above stale history must be accepted")
+	}
+}
+
+func TestAcceptorHistoryUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(8, 0, rng)
+	for i := 0; i < 100; i++ {
+		cur, _ := a.Consider(float64(i), float64(i+1))
+		if cur != float64(i+1) {
+			t.Fatal("monotone improvements must always be accepted")
+		}
+	}
+	for _, h := range a.History() {
+		if h < 0 {
+			t.Error("history must never regress below initial")
+		}
+	}
+	a.Reset(42)
+	for _, h := range a.History() {
+		if h != 42 {
+			t.Error("Reset must refill history")
+		}
+	}
+}
+
+func TestAcceptorDefaultLength(t *testing.T) {
+	a := New(0, 1, rand.New(rand.NewSource(4)))
+	if len(a.History()) != DefaultHistoryLength {
+		t.Errorf("history length = %d", len(a.History()))
+	}
+}
+
+func TestIdleCounter(t *testing.T) {
+	c := NewIdleCounter(3)
+	if !c.Step(false) || !c.Step(false) {
+		t.Fatal("counter stopped early")
+	}
+	if c.Step(false) {
+		t.Fatal("counter must stop at max idle")
+	}
+	if !c.Exhausted() {
+		t.Error("Exhausted should report true")
+	}
+	c.Reset()
+	if c.Exhausted() {
+		t.Error("Reset must clear")
+	}
+	// An improvement resets the streak.
+	c2 := NewIdleCounter(2)
+	c2.Step(false)
+	c2.Step(true)
+	if !c2.Step(false) {
+		t.Error("improvement must reset the idle streak")
+	}
+	if NewIdleCounter(0).max != 1 {
+		t.Error("max must clamp to 1")
+	}
+}
+
+func TestLAHCEscapesPlateau(t *testing.T) {
+	// A flat objective with a single peak: plain hill climbing with strict
+	// improvement stalls; LAHC's acceptance (candidate > probe drawn from a
+	// history seeded below the plateau) lets the walk drift across.
+	obj := func(x int) float64 {
+		if x == 50 {
+			return 2
+		}
+		return 1 // plateau
+	}
+	rng := rand.New(rand.NewSource(7))
+	pos := 0
+	a := New(8, 0, rng) // history below the plateau level
+	idle := NewIdleCounter(200)
+	cur := obj(pos)
+	reached := false
+	for steps := 0; steps < 50000; steps++ {
+		// Propose a random neighbour ±1.
+		next := pos + 1
+		if rng.Intn(2) == 0 && pos > 0 {
+			next = pos - 1
+		}
+		cand := obj(next)
+		newCur, ok := a.Consider(cur, cand)
+		if ok {
+			pos = next
+			cur = newCur
+		}
+		if pos == 50 {
+			reached = true
+			break
+		}
+		if !idle.Step(ok) {
+			idle.Reset()
+		}
+	}
+	if !reached {
+		t.Error("LAHC failed to traverse the plateau to the peak")
+	}
+	if math.IsNaN(cur) {
+		t.Error("objective corrupted")
+	}
+}

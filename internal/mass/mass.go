@@ -1,0 +1,127 @@
+// Package mass implements Mueen's Algorithm for Similarity Search
+// (Rakthanmanon et al., KDD 2012), the FFT-based z-normalised Euclidean
+// subsequence search the paper uses as a similarity baseline. MASS answers
+// "where in ts does something shaped like q occur?" in O(n log n); it has no
+// mechanism to search for correlated windows on its own — it needs a query,
+// which is exactly the limitation Section 2 points out.
+package mass
+
+import (
+	"fmt"
+	"math"
+
+	"tycos/internal/fft"
+)
+
+// DistanceProfile returns the z-normalised Euclidean distance between q and
+// every length-|q| subsequence of ts: out[i] = dist(q, ts[i:i+|q|]).
+// Subsequences with zero variance are assigned +Inf (no meaningful
+// z-normalised distance exists); a zero-variance query returns an error.
+func DistanceProfile(q, ts []float64) ([]float64, error) {
+	m, n := len(q), len(ts)
+	if m < 2 {
+		return nil, fmt.Errorf("mass: query length %d too short", m)
+	}
+	if m > n {
+		return nil, fmt.Errorf("mass: query length %d exceeds series length %d", m, n)
+	}
+	muQ, sigmaQ := meanStd(q)
+	if sigmaQ == 0 {
+		return nil, fmt.Errorf("mass: query has zero variance")
+	}
+	dots, err := fft.SlidingDotProducts(q, ts)
+	if err != nil {
+		return nil, err
+	}
+	mu, sigma := movingMeanStd(ts, m)
+	fm := float64(m)
+	out := make([]float64, n-m+1)
+	for i := range out {
+		if sigma[i] == 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		// d² = 2m·(1 − (QT − m·μq·μt)/(m·σq·σt))
+		corr := (dots[i] - fm*muQ*mu[i]) / (fm * sigmaQ * sigma[i])
+		d2 := 2 * fm * (1 - corr)
+		if d2 < 0 {
+			d2 = 0 // numeric noise at perfect matches
+		}
+		out[i] = math.Sqrt(d2)
+	}
+	return out, nil
+}
+
+// Match is a best-match result: the start index of the subsequence and its
+// z-normalised distance to the query.
+type Match struct {
+	Index    int
+	Distance float64
+}
+
+// TopMatch returns the best match of q in ts.
+func TopMatch(q, ts []float64) (Match, error) {
+	prof, err := DistanceProfile(q, ts)
+	if err != nil {
+		return Match{}, err
+	}
+	best := Match{Index: -1, Distance: math.Inf(1)}
+	for i, d := range prof {
+		if d < best.Distance {
+			best = Match{Index: i, Distance: d}
+		}
+	}
+	if best.Index < 0 {
+		return Match{}, fmt.Errorf("mass: no finite distance in profile")
+	}
+	return best, nil
+}
+
+// meanStd returns the mean and population standard deviation of v.
+func meanStd(v []float64) (mu, sigma float64) {
+	n := float64(len(v))
+	if n == 0 {
+		return 0, 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	mu = s / n
+	var ss float64
+	for _, x := range v {
+		d := x - mu
+		ss += d * d
+	}
+	return mu, math.Sqrt(ss / n)
+}
+
+// movingMeanStd returns the mean and population standard deviation of every
+// length-m window of ts, computed with running sums in O(n).
+func movingMeanStd(ts []float64, m int) (mu, sigma []float64) {
+	n := len(ts)
+	count := n - m + 1
+	mu = make([]float64, count)
+	sigma = make([]float64, count)
+	var sum, sumSq float64
+	for i := 0; i < m; i++ {
+		sum += ts[i]
+		sumSq += ts[i] * ts[i]
+	}
+	fm := float64(m)
+	for i := 0; ; i++ {
+		mean := sum / fm
+		variance := sumSq/fm - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		mu[i] = mean
+		sigma[i] = math.Sqrt(variance)
+		if i+m >= n {
+			break
+		}
+		sum += ts[i+m] - ts[i]
+		sumSq += ts[i+m]*ts[i+m] - ts[i]*ts[i]
+	}
+	return mu, sigma
+}

@@ -1,0 +1,181 @@
+package mass
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveProfile is the O(n·m) reference: explicit z-normalisation of every
+// subsequence.
+func naiveProfile(q, ts []float64) []float64 {
+	m := len(q)
+	zq := znorm(q)
+	out := make([]float64, len(ts)-m+1)
+	for i := range out {
+		zs := znorm(ts[i : i+m])
+		if zs == nil {
+			out[i] = math.Inf(1)
+			continue
+		}
+		var d2 float64
+		for j := 0; j < m; j++ {
+			d := zq[j] - zs[j]
+			d2 += d * d
+		}
+		out[i] = math.Sqrt(d2)
+	}
+	return out
+}
+
+func znorm(v []float64) []float64 {
+	mu, sigma := meanStd(v)
+	if sigma == 0 {
+		return nil
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = (x - mu) / sigma
+	}
+	return out
+}
+
+func TestDistanceProfileMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		m := 4 + rng.Intn(20)
+		n := m + rng.Intn(200)
+		q := make([]float64, m)
+		ts := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		for i := range ts {
+			ts[i] = rng.NormFloat64()
+		}
+		got, err := DistanceProfile(q, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveProfile(q, ts)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: profile[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopMatchFindsPlantedPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = rng.NormFloat64()
+	}
+	// Plant a sine burst at index 200.
+	q := make([]float64, 40)
+	for i := range q {
+		q[i] = math.Sin(float64(i) * 0.4)
+	}
+	copy(ts[200:], q)
+	match, err := TopMatch(q, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match.Index != 200 {
+		t.Errorf("match at %d, want 200", match.Index)
+	}
+	if match.Distance > 1e-6 {
+		t.Errorf("exact match distance = %v", match.Distance)
+	}
+}
+
+func TestTopMatchScaleInvariance(t *testing.T) {
+	// z-normalisation makes MASS invariant to amplitude and offset of the
+	// planted pattern.
+	rng := rand.New(rand.NewSource(9))
+	n := 400
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = rng.NormFloat64()
+	}
+	q := make([]float64, 30)
+	for i := range q {
+		q[i] = math.Sin(float64(i) * 0.5)
+	}
+	for i := range q {
+		ts[150+i] = 5*q[i] + 20 // scaled and shifted occurrence
+	}
+	match, err := TopMatch(q, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match.Index != 150 || match.Distance > 1e-6 {
+		t.Errorf("scaled match = %+v", match)
+	}
+}
+
+func TestDistanceProfileDegenerateWindows(t *testing.T) {
+	q := []float64{1, 2, 3}
+	ts := []float64{5, 5, 5, 1, 2, 3, 9, 9, 9}
+	prof, err := DistanceProfile(q, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(prof[0], 1) {
+		t.Error("constant window must have +Inf distance")
+	}
+	if prof[3] > 1e-9 {
+		t.Errorf("exact occurrence distance = %v", prof[3])
+	}
+}
+
+func TestDistanceProfileErrors(t *testing.T) {
+	if _, err := DistanceProfile([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("too-short query must fail")
+	}
+	if _, err := DistanceProfile([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("query longer than series must fail")
+	}
+	if _, err := DistanceProfile([]float64{2, 2, 2}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("constant query must fail")
+	}
+	if _, err := TopMatch([]float64{1, 2}, []float64{3, 3, 3}); err == nil {
+		t.Error("all-degenerate profile must fail TopMatch")
+	}
+}
+
+func TestProfileNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(12)
+		n := m + rng.Intn(120)
+		q := make([]float64, m)
+		ts := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		for i := range ts {
+			ts[i] = rng.NormFloat64()
+		}
+		prof, err := DistanceProfile(q, ts)
+		if err != nil {
+			return false
+		}
+		for _, d := range prof {
+			if d < 0 || math.IsNaN(d) {
+				return false
+			}
+			// Upper bound for z-normalised distance is 2√m.
+			if !math.IsInf(d, 1) && d > 2*math.Sqrt(float64(m))+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

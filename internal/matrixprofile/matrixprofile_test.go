@@ -1,0 +1,131 @@
+package matrixprofile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noise(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestABJoinFindsSharedMotif(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := noise(rng, 300)
+	b := noise(rng, 300)
+	// Plant the same pattern in both series at different offsets.
+	for i := 0; i < 40; i++ {
+		v := math.Sin(float64(i) * 0.3)
+		a[100+i] = v
+		b[220+i] = v
+	}
+	p, err := ABJoin(a, b, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motif, err := p.BestMotif()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if motif.AIndex != 100 || motif.BIndex != 220 {
+		t.Errorf("motif at (%d,%d), want (100,220)", motif.AIndex, motif.BIndex)
+	}
+	if motif.Distance > 1e-6 {
+		t.Errorf("planted motif distance = %v", motif.Distance)
+	}
+}
+
+func TestABJoinDetectsDelayedLinearButNotQuadratic(t *testing.T) {
+	// The Table 1 behaviour: a delayed linear copy is a similarity match
+	// (z-normalisation erases slope and offset), a delayed quadratic map is
+	// not.
+	rng := rand.New(rand.NewSource(5))
+	n := 400
+	x := noise(rng, n)
+	// Smooth x so subsequences have shape (similarity needs structure).
+	for i := 1; i < n; i++ {
+		x[i] = 0.8*x[i-1] + 0.2*x[i]
+	}
+	delay := 30
+	linY := noise(rng, n)
+	quadY := noise(rng, n)
+	for i := 100; i < 220; i++ {
+		linY[i+delay] = 2*x[i] + 1
+		quadY[i+delay] = x[i] * x[i]
+	}
+	m := 60
+	lin, err := ABJoin(x, linY, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := ABJoin(x, quadY, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.MinDist() > 1e-6 {
+		t.Errorf("delayed linear copy min dist = %v, want ≈0", lin.MinDist())
+	}
+	if quad.MinDist() < 1 {
+		t.Errorf("delayed quadratic min dist = %v, want clearly non-zero", quad.MinDist())
+	}
+	if lin.NormalizedMinDist() >= quad.NormalizedMinDist() {
+		t.Error("normalized distances must rank linear below quadratic")
+	}
+}
+
+func TestABJoinIndicesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := noise(rng, 120)
+	b := noise(rng, 150)
+	m := 20
+	p, err := ABJoin(a, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Dist) != len(a)-m+1 || len(p.Index) != len(p.Dist) {
+		t.Fatalf("profile lengths: %d, %d", len(p.Dist), len(p.Index))
+	}
+	for i, j := range p.Index {
+		if j < 0 || j > len(b)-m {
+			t.Errorf("index[%d] = %d out of range", i, j)
+		}
+	}
+}
+
+func TestABJoinDegenerateWindows(t *testing.T) {
+	a := []float64{1, 1, 1, 1, 2, 3, 4, 5}
+	b := []float64{5, 4, 3, 2, 1, 0, -1, -2}
+	p, err := ABJoin(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Dist[0], 1) || p.Index[0] != -1 {
+		t.Error("constant A-window must be +Inf / -1")
+	}
+	// All-degenerate profile: BestMotif fails.
+	flat := []float64{2, 2, 2, 2, 2}
+	pf, err := ABJoin(flat, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.BestMotif(); err == nil {
+		t.Error("all-degenerate profile must fail BestMotif")
+	}
+	if !math.IsInf(pf.MinDist(), 1) {
+		t.Error("all-degenerate MinDist must be +Inf")
+	}
+}
+
+func TestABJoinErrors(t *testing.T) {
+	if _, err := ABJoin([]float64{1, 2}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("m=1 must fail")
+	}
+	if _, err := ABJoin([]float64{1, 2}, []float64{1, 2, 3}, 3); err == nil {
+		t.Error("m exceeding |a| must fail")
+	}
+}

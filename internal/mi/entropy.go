@@ -1,0 +1,108 @@
+package mi
+
+import (
+	"math"
+	"sort"
+
+	"tycos/internal/knn"
+	"tycos/internal/mathx"
+)
+
+// KLEntropy estimates the differential entropy (nats) of the 1-D sample v
+// with the Kozachenko–Leonenko k-nearest-neighbour estimator under the L∞
+// metric:
+//
+//	Ĥ = −ψ(k) + ψ(n) + log(2) + (1/n)·Σ log ε_i
+//
+// where ε_i is the distance from v[i] to its k-th nearest neighbour.
+// Duplicated samples (ε = 0) are floored to keep the sum finite; heavy
+// duplication biases the estimate downwards, as it does for every kNN
+// entropy estimator.
+func KLEntropy(v []float64, k int) (float64, error) {
+	n := len(v)
+	if k < 1 {
+		k = DefaultK
+	}
+	if n <= k {
+		return 0, ErrTooFewSamples
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	var sumLog float64
+	for i := 0; i < n; i++ {
+		eps := kthDistance1D(s, v[i], k)
+		if eps <= 0 {
+			eps = 1e-12
+		}
+		sumLog += math.Log(eps)
+	}
+	return -mathx.DigammaInt(k) + mathx.Digamma(float64(n)) + math.Ln2 + sumLog/float64(n), nil
+}
+
+// KLJointEntropy estimates the differential entropy (nats) of the 2-D sample
+// (x, y) with the Kozachenko–Leonenko estimator under L∞ (unit-ball volume
+// log 4 in two dimensions).
+func KLJointEntropy(x, y []float64, k int) (float64, error) {
+	if err := checkPair(x, y); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if k < 1 {
+		k = DefaultK
+	}
+	if n <= k {
+		return 0, ErrTooFewSamples
+	}
+	pts := make([]knn.Point, n)
+	for i := range pts {
+		pts[i] = knn.Point{X: x[i], Y: y[i]}
+	}
+	tree := knn.NewKDTree(pts)
+	var sumLog float64
+	for i := 0; i < n; i++ {
+		nn := tree.KNearest(pts[i], k, i)
+		eps := nn[len(nn)-1].Dist
+		if eps <= 0 {
+			eps = 1e-12
+		}
+		sumLog += math.Log(eps)
+	}
+	return -mathx.DigammaInt(k) + mathx.Digamma(float64(n)) + math.Log(4) + 2*sumLog/float64(n), nil
+}
+
+// kthDistance1D returns the distance from q to its k-th nearest neighbour in
+// the sorted slice s, excluding one occurrence of q itself (the query
+// point). Two pointers expand outwards from q's position.
+func kthDistance1D(s []float64, q float64, k int) float64 {
+	lo := sort.SearchFloat64s(s, q)
+	left, right := lo-1, lo
+	skippedSelf := false
+	var dist float64
+	taken := 0
+	for taken < k {
+		dl, dr := math.Inf(1), math.Inf(1)
+		if left >= 0 {
+			dl = q - s[left]
+		}
+		if right < len(s) {
+			dr = s[right] - q
+		}
+		if math.IsInf(dl, 1) && math.IsInf(dr, 1) {
+			break
+		}
+		if dr <= dl {
+			if !skippedSelf && s[right] == q {
+				skippedSelf = true
+				right++
+				continue
+			}
+			dist = dr
+			right++
+		} else {
+			dist = dl
+			left--
+		}
+		taken++
+	}
+	return dist
+}

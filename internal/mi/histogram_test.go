@@ -1,0 +1,160 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	est := NewHistogram(0)
+	x, y := gaussianPair(rng, 5000, 0.9)
+	got, err := est.Estimate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GaussianMI(0.9) // ≈ 0.830
+	// Plug-in histogram MI is biased upwards; accept a broad band but
+	// require the right order of magnitude and sign.
+	if got < 0.5*want || got > 2.5*want {
+		t.Errorf("histogram MI = %.4f, analytic = %.4f", got, want)
+	}
+	// Independent data must score much lower than dependent data.
+	x2, y2 := gaussianPair(rng, 5000, 0)
+	ind, err := est.Estimate(x2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind >= got {
+		t.Errorf("independent (%.4f) must score below dependent (%.4f)", ind, got)
+	}
+}
+
+func TestHistogramFixedBins(t *testing.T) {
+	est := NewHistogram(8)
+	if est.Name() != "histogram(b=8)" {
+		t.Errorf("name = %q", est.Name())
+	}
+	rng := rand.New(rand.NewSource(5))
+	x, y := gaussianPair(rng, 1000, 0.8)
+	got, err := est.Estimate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Errorf("fixed-bin MI = %v, want positive", got)
+	}
+}
+
+func TestHistogramNonNegativeAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	est := NewHistogram(0)
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(300)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		got, err := est.Estimate(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0 {
+			t.Fatalf("negative histogram MI: %v", got)
+		}
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	est := NewHistogram(0)
+	if _, err := est.Estimate([]float64{1}, []float64{2}); err == nil {
+		t.Error("single sample must fail")
+	}
+	if _, err := est.Estimate([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestFreedmanDiaconisBins(t *testing.T) {
+	if FreedmanDiaconisBins([]float64{1}) != 1 {
+		t.Error("single value → 1 bin")
+	}
+	if FreedmanDiaconisBins([]float64{2, 2, 2, 2}) != 1 {
+		t.Error("constant data → 1 bin")
+	}
+	// Degenerate IQR with nonzero span falls back to Sturges.
+	v := []float64{0, 0, 0, 0, 0, 0, 0, 0, 100}
+	if b := FreedmanDiaconisBins(v); b < 2 || b > 512 {
+		t.Errorf("Sturges fallback gave %d bins", b)
+	}
+	rng := rand.New(rand.NewSource(1))
+	big := make([]float64, 10000)
+	for i := range big {
+		big[i] = rng.NormFloat64()
+	}
+	if b := FreedmanDiaconisBins(big); b < 10 || b > 512 {
+		t.Errorf("normal 10k bins = %d", b)
+	}
+}
+
+func TestHistogramEntropy(t *testing.T) {
+	// Uniform over b bins should approach log(b).
+	n := 100000
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	h := HistogramEntropy(v, 16)
+	if math.Abs(h-math.Log(16)) > 0.01 {
+		t.Errorf("uniform entropy = %v, want ≈%v", h, math.Log(16))
+	}
+	if HistogramEntropy(nil, 4) != 0 {
+		t.Error("empty entropy must be 0")
+	}
+	if HistogramEntropy([]float64{3, 3, 3}, 4) != 0 {
+		t.Error("constant entropy must be 0")
+	}
+}
+
+func TestHistogramJointEntropyBoundsMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := gaussianPair(rng, 2000, 0.7)
+	est := NewHistogram(12)
+	info, err := est.Estimate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := HistogramJointEntropy(x, y, 12)
+	if info > h+1e-9 {
+		t.Errorf("MI (%v) exceeded joint entropy (%v)", info, h)
+	}
+	if h <= 0 {
+		t.Errorf("joint entropy = %v, want positive", h)
+	}
+	if HistogramJointEntropy(nil, nil, 4) != 0 {
+		t.Error("empty joint entropy must be 0")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if q := quantileSorted(s, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := quantileSorted(s, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := quantileSorted(s, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := quantileSorted(s, 0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+	if q := quantileSorted([]float64{7}, 0.9); q != 7 {
+		t.Errorf("single-element quantile = %v", q)
+	}
+}

@@ -1,0 +1,130 @@
+package series
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes one or more equal-length series as columns of a CSV file
+// with a header row of series names. NaN values are written as empty cells.
+func WriteCSV(w io.Writer, cols ...Series) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("series: no columns to write")
+	}
+	n := cols[0].Len()
+	for _, c := range cols[1:] {
+		if c.Len() != n {
+			return fmt.Errorf("series: column %q length %d != %d", c.Name, c.Len(), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(cols))
+	for i := 0; i < n; i++ {
+		for j, c := range cols {
+			v := c.Values[i]
+			if math.IsNaN(v) {
+				row[j] = ""
+			} else {
+				row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV written by WriteCSV (or any headered numeric CSV) and
+// returns one series per column. Empty or unparsable cells become NaN.
+func ReadCSV(r io.Reader) ([]Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("series: empty CSV")
+	}
+	header := records[0]
+	cols := make([]Series, len(header))
+	for i, name := range header {
+		cols[i] = Series{Name: name, Step: 1, Values: make([]float64, 0, len(records)-1)}
+	}
+	for rowIdx, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("series: row %d has %d fields, want %d", rowIdx+2, len(rec), len(header))
+		}
+		for j, cell := range rec {
+			v := math.NaN()
+			if cell != "" {
+				parsed, perr := strconv.ParseFloat(cell, 64)
+				if perr == nil {
+					v = parsed
+				}
+			}
+			cols[j].Values = append(cols[j].Values, v)
+		}
+	}
+	return cols, nil
+}
+
+// SaveCSV writes the series columns to the named file, creating it.
+func SaveCSV(path string, cols ...Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, cols...); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads all series columns from the named file.
+func LoadCSV(path string) ([]Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// LoadPairCSV loads the named file and returns the two named columns as a
+// Pair, interpolating missing values.
+func LoadPairCSV(path, xName, yName string) (Pair, error) {
+	cols, err := LoadCSV(path)
+	if err != nil {
+		return Pair{}, err
+	}
+	var x, y *Series
+	for i := range cols {
+		switch cols[i].Name {
+		case xName:
+			x = &cols[i]
+		case yName:
+			y = &cols[i]
+		}
+	}
+	if x == nil || y == nil {
+		return Pair{}, fmt.Errorf("series: columns %q/%q not found in %s", xName, yName, path)
+	}
+	x.Values = FillMissing(x.Values)
+	y.Values = FillMissing(y.Values)
+	return NewPair(*x, *y)
+}

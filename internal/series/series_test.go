@@ -1,0 +1,217 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{1, 2, 3, 4})
+	if st.N != 4 || st.Mean != 2.5 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	if math.Abs(st.Variance-1.25) > 1e-12 {
+		t.Errorf("variance = %v, want 1.25", st.Variance)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summarize must be zero")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	s := New("x", []float64{0, 1, 2, 3})
+	sub, err := s.Slice(1, 2)
+	if err != nil || sub.Len() != 2 || sub.At(0) != 1 {
+		t.Fatalf("slice failed: %v %v", sub, err)
+	}
+	for _, c := range [][2]int{{-1, 2}, {0, 4}, {3, 2}} {
+		if _, err := s.Slice(c[0], c[1]); err == nil {
+			t.Errorf("slice [%d,%d] should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	z := ZNormalize([]float64{1, 2, 3, 4, 5})
+	st := Summarize(z)
+	if math.Abs(st.Mean) > 1e-12 || math.Abs(st.Std-1) > 1e-12 {
+		t.Errorf("znorm stats %+v", st)
+	}
+	// Constant series normalises to zeros, not NaNs.
+	for _, v := range ZNormalize([]float64{7, 7, 7}) {
+		if v != 0 {
+			t.Fatal("constant znorm must be zero")
+		}
+	}
+}
+
+func TestZNormalizeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < 3 {
+			return true
+		}
+		st := Summarize(ZNormalize(clean))
+		return math.Abs(st.Mean) < 1e-6 && (st.Std == 0 || math.Abs(st.Std-1) < 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	r := Rank([]float64{30, 10, 20})
+	if !(r[1] < r[2] && r[2] < r[0]) {
+		t.Errorf("rank order wrong: %v", r)
+	}
+	// Ties share the average rank.
+	r = Rank([]float64{5, 5, 1})
+	if r[0] != r[1] {
+		t.Errorf("tied values must share rank: %v", r)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New("x", []float64{1, 3, 5, 7, 9})
+	r, err := s.Resample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 9} // last bucket is partial
+	if len(r.Values) != len(want) {
+		t.Fatalf("resampled length %d", len(r.Values))
+	}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, r.Values[i], want[i])
+		}
+	}
+	if r.Step != 2 {
+		t.Errorf("step = %v", r.Step)
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("factor 0 must fail")
+	}
+}
+
+func TestFillMissing(t *testing.T) {
+	nan := math.NaN()
+	got := FillMissing([]float64{nan, 1, nan, nan, 4, nan})
+	want := []float64{1, 1, 2, 3, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FillMissing = %v, want %v", got, want)
+		}
+	}
+	for _, v := range FillMissing([]float64{nan, nan}) {
+		if v != 0 {
+			t.Error("all-NaN input should zero-fill")
+		}
+	}
+}
+
+func TestPairDelaySlice(t *testing.T) {
+	x := New("x", []float64{0, 1, 2, 3, 4, 5})
+	y := New("y", []float64{10, 11, 12, 13, 14, 15})
+	p := MustPair(x, y)
+
+	xs, ys, err := p.DelaySlice(1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 1 || ys[0] != 13 || len(xs) != 3 || len(ys) != 3 {
+		t.Errorf("delay slice wrong: %v %v", xs, ys)
+	}
+	// Negative delay shifts Y backwards.
+	_, ys, err = p.DelaySlice(2, 4, -2)
+	if err != nil || ys[0] != 10 {
+		t.Errorf("negative delay: %v %v", ys, err)
+	}
+	// Out of range delays fail.
+	if _, _, err := p.DelaySlice(4, 5, 1); err == nil {
+		t.Error("delayed window past end must fail")
+	}
+	if _, _, err := p.DelaySlice(0, 2, -1); err == nil {
+		t.Error("delayed window before start must fail")
+	}
+}
+
+func TestNewPairLengthMismatch(t *testing.T) {
+	if _, err := NewPair(New("a", make([]float64, 3)), New("b", make([]float64, 4))); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New("x", make([]float64, 50))
+	y := New("y", make([]float64, 50))
+	for i := range x.Values {
+		x.Values[i] = rng.NormFloat64()
+		y.Values[i] = rng.NormFloat64()
+	}
+	y.Values[7] = math.NaN()
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, x, y); err != nil {
+		t.Fatal(err)
+	}
+	cols, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0].Name != "x" || cols[1].Name != "y" {
+		t.Fatalf("columns: %+v", cols)
+	}
+	for i := range x.Values {
+		if cols[0].Values[i] != x.Values[i] {
+			t.Fatalf("x[%d] mismatch", i)
+		}
+		if i == 7 {
+			if !math.IsNaN(cols[1].Values[i]) {
+				t.Fatal("NaN not preserved as empty cell")
+			}
+		} else if cols[1].Values[i] != y.Values[i] {
+			t.Fatalf("y[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSaveLoadPairCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pair.csv")
+	x := New("rain", []float64{0, 1, 2, 3})
+	y := New("collisions", []float64{5, 6, 7, 8})
+	if err := SaveCSV(path, x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPairCSV(path, "rain", "collisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 || p.Y.Values[2] != 7 {
+		t.Fatalf("loaded pair wrong: %+v", p)
+	}
+	if _, err := LoadPairCSV(path, "rain", "nope"); err == nil {
+		t.Error("missing column must fail")
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf); err == nil {
+		t.Error("no columns must fail")
+	}
+	if err := WriteCSV(&buf, New("a", make([]float64, 2)), New("b", make([]float64, 3))); err == nil {
+		t.Error("ragged columns must fail")
+	}
+}

@@ -1,0 +1,174 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tycos/internal/baseline"
+	"tycos/internal/mi"
+)
+
+func TestGenerateDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range Relations {
+		x, y := Generate(r, 500, rng)
+		if len(x) != 500 || len(y) != 500 {
+			t.Fatalf("%v: wrong lengths", r)
+		}
+		if r == RelIndependent {
+			continue
+		}
+		lo, hi := r.domain()
+		for i, v := range x {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				t.Errorf("%v: x[%d]=%v outside [%v,%v]", r, i, v, lo, hi)
+				break
+			}
+		}
+		for _, v := range y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%v: non-finite y", r)
+			}
+		}
+	}
+}
+
+func TestGeneratedRelationsCarryMI(t *testing.T) {
+	// Every dependent relation must have clearly higher KSG MI than the
+	// independent control — that is the premise of the whole paper.
+	rng := rand.New(rand.NewSource(3))
+	est := mi.NewKSG(4, mi.BackendKDTree)
+	xi, yi := Generate(RelIndependent, 800, rng)
+	base, err := est.Estimate(xi, yi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Relations {
+		if !r.Dependent() {
+			continue
+		}
+		x, y := Generate(r, 800, rng)
+		got, err := est.Estimate(x, y)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if got < base+0.5 {
+			t.Errorf("%v: MI = %.3f not clearly above independent %.3f", r, got, base)
+		}
+	}
+}
+
+func TestPCCBlindToNonMonotone(t *testing.T) {
+	// Sanity: the generated quad/circle/sine relations indeed defeat PCC,
+	// otherwise Table 1 would be vacuous.
+	rng := rand.New(rand.NewSource(5))
+	for _, r := range []Relation{RelQuad, RelCircle, RelCross} {
+		x, y := Generate(r, 1000, rng)
+		if got := math.Abs(baseline.Pearson(x, y)); got > 0.3 {
+			t.Errorf("%v: |r| = %.3f, expected PCC-blind relation", r, got)
+		}
+	}
+}
+
+func TestRelationStrings(t *testing.T) {
+	if RelSqrt.String() != "Square root" || RelExp.String() != "Exp." {
+		t.Error("labels must match Table 1")
+	}
+	if Relation(99).String() == "" {
+		t.Error("unknown relation needs a fallback label")
+	}
+}
+
+func TestComposeGroundTruth(t *testing.T) {
+	rels := []Relation{RelLinear, RelSine}
+	c, err := Compose(rels, 100, 60, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 60 + 2*(100+60)
+	if c.Pair.Len() != wantLen {
+		t.Fatalf("composite length = %d, want %d", c.Pair.Len(), wantLen)
+	}
+	if len(c.Segments) != 2 {
+		t.Fatalf("segments = %d", len(c.Segments))
+	}
+	est := mi.NewKSG(4, mi.BackendKDTree)
+	for _, seg := range c.Segments {
+		if seg.Delay != 20 {
+			t.Errorf("segment delay = %d", seg.Delay)
+		}
+		xs, ys, err := c.Pair.DelaySlice(seg.Start, seg.End, seg.Delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := est.Estimate(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0.5 {
+			t.Errorf("%v segment aligned MI = %.3f, want strong", seg.Rel, got)
+		}
+		// Mis-aligned (delay 0) the same segment must be much weaker.
+		xs0, ys0, err := c.Pair.DelaySlice(seg.Start, seg.End, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at0, err := est.Estimate(xs0, ys0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at0 > got/2 {
+			t.Errorf("%v segment at τ=0 MI = %.3f vs aligned %.3f: delay not effective", seg.Rel, at0, got)
+		}
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	if _, err := Compose([]Relation{RelLinear}, 1, 10, 0, 1); err == nil {
+		t.Error("tiny segment must fail")
+	}
+	if _, err := Compose([]Relation{RelLinear}, 10, 10, 10, 1); err == nil {
+		t.Error("delay ≥ sepLen must fail")
+	}
+	if _, err := Compose([]Relation{RelLinear}, 10, 10, -1, 1); err == nil {
+		t.Error("negative delay must fail")
+	}
+}
+
+func TestComposeDeterministic(t *testing.T) {
+	a, _ := Compose([]Relation{RelQuad}, 50, 30, 5, 42)
+	b, _ := Compose([]Relation{RelQuad}, 50, 30, 5, 42)
+	for i := range a.Pair.X.Values {
+		if a.Pair.X.Values[i] != b.Pair.X.Values[i] || a.Pair.Y.Values[i] != b.Pair.Y.Values[i] {
+			t.Fatal("Compose not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestCorrelatedAR(t *testing.T) {
+	c, err := CorrelatedAR(2000, 3, 150, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) != 3 {
+		t.Fatalf("segments = %d", len(c.Segments))
+	}
+	est := mi.NewKSG(4, mi.BackendKDTree)
+	for _, seg := range c.Segments {
+		xs, ys, err := c.Pair.DelaySlice(seg.Start, seg.End, seg.Delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := est.Estimate(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0.8 {
+			t.Errorf("AR segment %v MI = %.3f, want strong", seg, got)
+		}
+	}
+	if _, err := CorrelatedAR(100, 5, 100, 0, 1); err == nil {
+		t.Error("impossible layout must fail")
+	}
+}

@@ -1,0 +1,136 @@
+// Package tycos is the public API of the TYCOS reproduction: efficient
+// search for multi-scale time-delay correlations in big time series data
+// (Ho, Pedersen, Ho, Vu — EDBT 2020).
+//
+// Given a pair of equally sampled time series (X, Y), Search finds the set
+// of non-overlapping time-delay windows w = ([t_s, t_e], τ) — X observed on
+// [t_s, t_e], Y on [t_s+τ, t_e+τ] — whose mutual information exceeds a
+// threshold σ, subject to window-size bounds [SMin, SMax] and a delay bound
+// |τ| ≤ TDMax. Mutual information is estimated with the
+// Kraskov–Stögbauer–Grassberger k-nearest-neighbour estimator, so linear,
+// non-linear, non-monotonic and non-functional dependencies are all
+// detected.
+//
+// The search is Late-Acceptance Hill Climbing over the (start, end, delay)
+// space, optionally accelerated by a mixture-distribution noise theory that
+// prunes unpromising regions (VariantLN) and by an incremental MI
+// computation that reuses k-NN state between neighbouring windows
+// (VariantLM); VariantLMN (the default in examples) applies both.
+//
+// Quick start:
+//
+//	pair, err := tycos.LoadPairCSV("data.csv", "rain", "collisions")
+//	if err != nil { ... }
+//	res, err := tycos.Search(pair, tycos.Options{
+//		SMin: 12, SMax: 288, TDMax: 24,
+//		Sigma:   0.3,
+//		Variant: tycos.VariantLMN,
+//	})
+//	for _, w := range res.Windows {
+//		fmt.Printf("%v  Ĩ=%.3f\n", w.Window, w.MI)
+//	}
+package tycos
+
+import (
+	"tycos/internal/core"
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+// Series is a uniformly sampled time series.
+type Series = series.Series
+
+// Pair couples two equal-length series observed over the same period.
+type Pair = series.Pair
+
+// Window is a time-delay window ([Start, End], Delay).
+type Window = window.Window
+
+// ScoredWindow pairs a window with its (normalized) mutual information.
+type ScoredWindow = window.Scored
+
+// Options configures a search; see the field documentation in internal/core.
+type Options = core.Options
+
+// Result is a search outcome: accepted windows plus work statistics.
+type Result = core.Result
+
+// Stats counts the work a search performed.
+type Stats = core.Stats
+
+// Variant selects the optimisation set of the search.
+type Variant = core.Variant
+
+// The four search variants of the paper's efficiency evaluation.
+const (
+	// VariantL is plain LAHC search (Algorithm 1).
+	VariantL = core.VariantL
+	// VariantLN adds the Section 6 noise theory (Algorithm 2).
+	VariantLN = core.VariantLN
+	// VariantLM adds the Section 7 incremental MI computation.
+	VariantLM = core.VariantLM
+	// VariantLMN applies both optimisations — the recommended default.
+	VariantLMN = core.VariantLMN
+)
+
+// Normalization selects how raw MI is scaled into the score Search
+// thresholds against.
+type Normalization = mi.Normalization
+
+// The available normalizations (Section 6.3.1).
+const (
+	// NormNone thresholds raw MI in nats.
+	NormNone = mi.NormNone
+	// NormMaxEntropy divides by log(window size); scores lie in [0, 1].
+	NormMaxEntropy = mi.NormMaxEntropy
+	// NormJointHistogram divides by the plug-in joint entropy of the window.
+	NormJointHistogram = mi.NormJointHistogram
+)
+
+// NewSeries returns a Series with the given name and values at unit step.
+func NewSeries(name string, values []float64) Series { return series.New(name, values) }
+
+// NewPair validates that x and y have equal length and couples them.
+func NewPair(x, y Series) (Pair, error) { return series.NewPair(x, y) }
+
+// LoadPairCSV reads the two named columns of a headered CSV file as a pair,
+// interpolating missing values.
+func LoadPairCSV(path, xName, yName string) (Pair, error) {
+	return series.LoadPairCSV(path, xName, yName)
+}
+
+// Search runs TYCOS over the pair and returns the accepted non-overlapping
+// time-delay windows sorted by start index.
+func Search(p Pair, opts Options) (Result, error) { return core.Search(p, opts) }
+
+// BruteForce enumerates and scores every feasible window — exact but
+// exponentially slower; use it only on small inputs or for validation.
+func BruteForce(p Pair, opts Options) (Result, error) { return core.BruteForce(p, opts) }
+
+// SearchSpaceSize reports the number of feasible windows for the options
+// over a series of length n (Lemma 1 of the paper).
+func SearchSpaceSize(n int, opts Options) int64 { return core.SearchSpaceSize(n, opts) }
+
+// EstimateMI returns the KSG mutual-information estimate (nats) between the
+// paired samples with neighbour count k (k ≤ 0 selects the default, 4).
+func EstimateMI(x, y []float64, k int) (float64, error) {
+	return mi.NewKSG(k, mi.BackendKDTree).Estimate(x, y)
+}
+
+// NormalizedMI scales a raw MI value for the paired samples according to the
+// chosen normalization.
+func NormalizedMI(raw float64, x, y []float64, n Normalization) float64 {
+	return mi.Normalize(raw, x, y, n)
+}
+
+// PairResult is the outcome of one pair inside SearchAll.
+type PairResult = core.PairResult
+
+// SearchAll runs TYCOS over every pair of distinct series concurrently —
+// the paper's cross-domain workflow over a whole collection of sensors.
+// parallelism ≤ 0 uses GOMAXPROCS. Results are deterministic for a fixed
+// seed regardless of scheduling and are ordered by input position.
+func SearchAll(ss []Series, opts Options, parallelism int) []PairResult {
+	return core.SearchAll(ss, opts, parallelism)
+}
