@@ -5,54 +5,80 @@
 //
 //	tycos -in data.csv -x rain -y collisions \
 //	      -smin 6 -smax 96 -tdmax 30 -sigma 0.25 [-variant lmn] [-topk 0]
+//	tycos -in plugs.csv -all [-checkpoint sweep.jsonl] [-retries 1]
 //
-// The input file must be a headered CSV; -x and -y name the two columns.
-// Windows are printed one per line as ([start,end], τ=delay) score.
+// The input file must be a headered CSV; -x and -y name the two columns, or
+// -all sweeps every pair of columns. Windows are printed one per line as
+// ([start,end], τ=delay) score.
+//
+// A first SIGINT (Ctrl-C) cancels the search gracefully: the windows
+// accepted so far are printed under a "(partial)" banner. -timeout and
+// -maxevals bound the run the same way. With -checkpoint, completed pairs of
+// a sweep are journaled so a killed run resumes where it left off.
+//
+// Exit status: 0 on a complete run, 1 when the search or input loading
+// fails, 2 on usage errors, 3 when the run was interrupted or hit a budget
+// and the printed results are partial.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"tycos"
 )
 
-func main() {
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		in      = flag.String("in", "", "input CSV file (required)")
-		xName   = flag.String("x", "", "name of the X column (required)")
-		yName   = flag.String("y", "", "name of the Y column (required)")
-		sMin    = flag.Int("smin", 6, "minimum window size (samples)")
-		sMax    = flag.Int("smax", 96, "maximum window size (samples)")
-		tdMax   = flag.Int("tdmax", 30, "maximum |time delay| (samples)")
-		sigma   = flag.Float64("sigma", 0.25, "correlation threshold on normalized MI")
-		epsilon = flag.Float64("epsilon", 0, "noise threshold (0 = sigma/4)")
-		k       = flag.Int("k", 4, "KSG nearest-neighbour count")
-		delta   = flag.Int("delta", 1, "neighbourhood moving step δ")
-		maxIdle = flag.Int("maxidle", 8, "idle explorations before stopping a climb")
-		topK    = flag.Int("topk", 0, "keep only the K best windows (0 = threshold mode)")
-		variant = flag.String("variant", "lmn", "search variant: l, ln, lm, lmn")
-		brute   = flag.Bool("brute", false, "run the exact Brute Force search instead (slow)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		stats   = flag.Bool("stats", false, "print search statistics")
+		in       = flag.String("in", "", "input CSV file (required)")
+		xName    = flag.String("x", "", "name of the X column (required unless -all)")
+		yName    = flag.String("y", "", "name of the Y column (required unless -all)")
+		all      = flag.Bool("all", false, "search every pair of CSV columns instead of one -x/-y pair")
+		sMin     = flag.Int("smin", 6, "minimum window size (samples)")
+		sMax     = flag.Int("smax", 96, "maximum window size (samples)")
+		tdMax    = flag.Int("tdmax", 30, "maximum |time delay| (samples)")
+		sigma    = flag.Float64("sigma", 0.25, "correlation threshold on normalized MI")
+		epsilon  = flag.Float64("epsilon", 0, "noise threshold (0 = sigma/4)")
+		k        = flag.Int("k", 4, "KSG nearest-neighbour count")
+		delta    = flag.Int("delta", 1, "neighbourhood moving step δ")
+		maxIdle  = flag.Int("maxidle", 8, "idle explorations before stopping a climb")
+		topK     = flag.Int("topk", 0, "keep only the K best windows (0 = threshold mode)")
+		variant  = flag.String("variant", "lmn", "search variant: l, ln, lm, lmn")
+		brute    = flag.Bool("brute", false, "run the exact Brute Force search instead (slow)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		stats    = flag.Bool("stats", false, "print search statistics")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+		maxEvals = flag.Int("maxevals", 0, "stop after this many window evaluations per pair (0 = none)")
+		parallel = flag.Int("parallel", 0, "sweep workers for -all (0 = GOMAXPROCS)")
+		retries  = flag.Int("retries", 0, "extra attempts per failed pair in -all sweeps")
+		pairTO   = flag.Duration("pairtimeout", 0, "per-pair wall-clock budget in -all sweeps (0 = none)")
+		ckpt     = flag.String("checkpoint", "", "journal completed sweep pairs to this JSONL file and resume from it")
 	)
 	flag.Parse()
-	if *in == "" || *xName == "" || *yName == "" {
+	if *in == "" || (!*all && (*xName == "" || *yName == "")) {
 		flag.Usage()
-		os.Exit(2)
-	}
-	pair, err := tycos.LoadPairCSV(*in, *xName, *yName)
-	if err != nil {
-		fatal(err)
+		return exitUsage
 	}
 	opts := tycos.Options{
 		SMin: *sMin, SMax: *sMax, TDMax: *tdMax,
 		Sigma: *sigma, Epsilon: *epsilon, K: *k,
 		Delta: *delta, MaxIdle: *maxIdle, TopK: *topK,
-		Normalization: tycos.NormMaxEntropy,
-		Seed:          *seed,
+		Normalization:  tycos.NormMaxEntropy,
+		Seed:           *seed,
+		MaxEvaluations: *maxEvals,
 	}
 	switch strings.ToLower(*variant) {
 	case "l":
@@ -64,31 +90,124 @@ func main() {
 	case "lmn":
 		opts.Variant = tycos.VariantLMN
 	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+		fmt.Fprintf(os.Stderr, "tycos: unknown variant %q (want l, ln, lm or lmn)\n", *variant)
+		return exitUsage
+	}
+
+	// A first SIGINT cancels the search gracefully — the windows accepted so
+	// far are printed with a "(partial)" banner; a second SIGINT kills the
+	// process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *all {
+		return runSweep(ctx, *in, opts, tycos.SweepOptions{
+			Parallelism: *parallel,
+			Retries:     *retries,
+			PairTimeout: *pairTO,
+		}, *ckpt, *stats)
+	}
+	return runPair(ctx, *in, *xName, *yName, opts, *brute, *stats)
+}
+
+// runPair searches the single (-x, -y) pair.
+func runPair(ctx context.Context, in, xName, yName string, opts tycos.Options, brute, stats bool) int {
+	pair, err := tycos.LoadPairCSV(in, xName, yName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tycos:", err)
+		return exitFailure
 	}
 	var res tycos.Result
-	if *brute {
+	if brute {
 		res, err = tycos.BruteForce(pair, opts)
 	} else {
-		res, err = tycos.Search(pair, opts)
+		res, err = tycos.SearchContext(ctx, pair, opts)
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "tycos:", err)
+		return exitFailure
 	}
+	printResult(res, stats)
+	if res.Partial {
+		fmt.Printf("(partial: search stopped early — %s)\n", res.Stats.StopReason)
+		return exitPartial
+	}
+	return exitOK
+}
+
+// runSweep searches every pair of columns in the CSV.
+func runSweep(ctx context.Context, in string, opts tycos.Options, sw tycos.SweepOptions, ckptPath string, stats bool) int {
+	cols, err := tycos.LoadAllCSV(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tycos:", err)
+		return exitFailure
+	}
+	if ckptPath != "" {
+		journal, err := tycos.OpenCheckpoint(ckptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tycos:", err)
+			return exitFailure
+		}
+		defer journal.Close()
+		if n := journal.Len(); n > 0 {
+			fmt.Printf("checkpoint %s: %d pairs already journaled, resuming\n", ckptPath, n)
+		}
+		sw.Checkpoint = journal
+	}
+	results := tycos.SearchAllContext(ctx, cols, opts, sw)
+	failed, partial := 0, false
+	for _, pr := range results {
+		if pr.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "tycos: %v\n", pr.Err)
+			continue
+		}
+		tag := ""
+		if pr.FromCheckpoint {
+			tag = "  (from checkpoint)"
+		}
+		if pr.Result.Partial {
+			partial = true
+			tag += "  (partial)"
+		}
+		fmt.Printf("%s / %s: %d windows%s\n", pr.XName, pr.YName, len(pr.Result.Windows), tag)
+		for _, w := range pr.Result.Windows {
+			fmt.Printf("  %v  score=%.3f  size=%d\n", w.Window, w.MI, w.Size())
+		}
+		if stats {
+			printStats(pr.Result.Stats, "  ")
+		}
+	}
+	if ctx.Err() != nil || partial {
+		fmt.Printf("(partial: sweep stopped early, %d/%d pairs failed or unfinished)\n", failed, len(results))
+		return exitPartial
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tycos: %d/%d pairs failed\n", failed, len(results))
+		return exitFailure
+	}
+	return exitOK
+}
+
+func printResult(res tycos.Result, stats bool) {
 	if len(res.Windows) == 0 {
 		fmt.Println("no correlated windows found")
 	}
 	for _, w := range res.Windows {
 		fmt.Printf("%v  score=%.3f  size=%d\n", w.Window, w.MI, w.Size())
 	}
-	if *stats {
-		fmt.Printf("windows evaluated: %d\nbatch MI estimations: %d\nincremental moves: %d\nrestarts: %d\npruned directions: %d\n",
-			res.Stats.WindowsEvaluated, res.Stats.MIBatch, res.Stats.MIIncremental,
-			res.Stats.Restarts, res.Stats.PrunedDirections)
+	if stats {
+		printStats(res.Stats, "")
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tycos:", err)
-	os.Exit(1)
+func printStats(st tycos.Stats, indent string) {
+	fmt.Printf("%swindows evaluated: %d\n%sbatch MI estimations: %d\n%sincremental moves: %d\n%srestarts: %d\n%spruned directions: %d\n%sstop reason: %s\n",
+		indent, st.WindowsEvaluated, indent, st.MIBatch, indent, st.MIIncremental,
+		indent, st.Restarts, indent, st.PrunedDirections, indent, st.StopReason)
 }

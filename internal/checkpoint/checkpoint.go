@@ -1,0 +1,130 @@
+// Package checkpoint journals completed pair results of a multi-pair TYCOS
+// sweep to an append-only JSONL file, one record per line, so a killed sweep
+// can be restarted with the same journal and recompute only the pairs that
+// never finished. The format is deliberately dumb — flat JSON lines, flushed
+// record by record — because the failure mode it guards against is the
+// process dying at an arbitrary instant: a torn final line (the write the
+// kill interrupted) is detected and ignored on reopen, and every intact line
+// before it is recovered.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"tycos/internal/core"
+)
+
+// record is one journal line: a completed pair and its search result.
+type record struct {
+	X      string      `json:"x"`
+	Y      string      `json:"y"`
+	Result core.Result `json:"result"`
+}
+
+// Journal is a JSONL-backed core.SweepCheckpoint. It is safe for concurrent
+// use by the sweep's workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]core.Result
+	path string
+}
+
+var _ core.SweepCheckpoint = (*Journal)(nil)
+
+// key joins a pair's names unambiguously (series names cannot contain NUL).
+func key(x, y string) string { return x + "\x00" + y }
+
+// Open loads the journal at path (creating it if absent) and returns it
+// ready for lookups and appends. Unparsable lines — a torn tail from a
+// killed process, or unrelated garbage — are skipped, not fatal; a missing
+// trailing newline is repaired before appending so the next record cannot be
+// glued onto a torn one.
+func Open(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	done := make(map[string]core.Result)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var rec record
+		if json.Unmarshal([]byte(line), &rec) != nil {
+			continue
+		}
+		done[key(rec.X, rec.Y)] = rec.Result
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return &Journal{f: f, done: done, path: path}, nil
+}
+
+// Lookup returns the journaled result for the pair, if any.
+func (j *Journal) Lookup(xName, yName string) (core.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.done[key(xName, yName)]
+	return r, ok
+}
+
+// Record appends the pair's result to the journal and flushes it to the OS
+// before reporting success, so a record is either durably on its way to disk
+// or the sweep knows it is not.
+func (j *Journal) Record(xName, yName string, r core.Result) error {
+	line, err := json.Marshal(record{X: xName, Y: yName, Result: r})
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	w := bufio.NewWriter(j.f)
+	w.Write(line)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	j.done[key(xName, yName)] = r
+	return nil
+}
+
+// Len reports the number of journaled pairs.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal's file handle. Records already written stay on
+// disk; the journal can be reopened with Open.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tycos/internal/core"
+	"tycos/internal/faultinject"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+func testResult(n int) core.Result {
+	return core.Result{
+		Windows: []window.Scored{
+			{Window: window.Window{Start: 10 * n, End: 10*n + 9, Delay: n}, MI: 0.5 + float64(n)/100},
+		},
+		Stats: core.Stats{WindowsEvaluated: 100 * n, Restarts: n, StopReason: core.StopCompleted},
+	}
+}
+
+func TestJournalRecordLookupReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Lookup("a", "b"); ok {
+		t.Fatal("empty journal reported a record")
+	}
+	if err := j.Record("a", "b", testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", "c", testResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := j.Lookup("a", "b"); !ok || got.Stats.WindowsEvaluated != 100 {
+		t.Errorf("lookup after record: %+v, %v", got, ok)
+	}
+	if j.Len() != 2 {
+		t.Errorf("Len = %d, want 2", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reopened journal Len = %d, want 2", j2.Len())
+	}
+	got, ok := j2.Lookup("a", "b")
+	if !ok {
+		t.Fatal("record lost across reopen")
+	}
+	want := testResult(1)
+	if len(got.Windows) != 1 || got.Windows[0] != want.Windows[0] || got.Stats != want.Stats {
+		t.Errorf("round-tripped result differs: %+v vs %+v", got, want)
+	}
+}
+
+// A kill mid-write leaves a torn trailing line; reopening must recover every
+// intact record, ignore the torn tail, and not glue the next record onto it.
+func TestJournalTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("a", "b", testResult(1))
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"x":"a","y":"c","result":{"Windows"`) // torn, no newline
+	f.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("Len after torn tail = %d, want 1", j2.Len())
+	}
+	if _, ok := j2.Lookup("a", "c"); ok {
+		t.Error("torn record resurrected")
+	}
+	if err := j2.Record("a", "d", testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Errorf("Len after append-past-torn-tail = %d, want 2", j3.Len())
+	}
+	if _, ok := j3.Lookup("a", "d"); !ok {
+		t.Error("record appended after a torn tail was lost")
+	}
+}
+
+func TestJournalRecordAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Record("a", "b", testResult(1)); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Record on closed journal: %v", err)
+	}
+}
+
+// sweepSeries builds deterministic noise series with one coupled pair.
+func sweepSeries(names ...string) []series.Series {
+	rng := rand.New(rand.NewSource(61))
+	ss := make([]series.Series, len(names))
+	for i, name := range names {
+		v := make([]float64, 250)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		ss[i] = series.New(name, v)
+	}
+	return ss
+}
+
+// The acceptance scenario: a sweep with one persistently failing pair
+// journals the others; after a "restart" with the fault gone, only the
+// unjournaled pair is recomputed.
+func TestSweepResumeRecomputesOnlyUnjournaledPairs(t *testing.T) {
+	defer faultinject.Clear()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ss := sweepSeries("a", "b", "c")
+	opts := core.Options{SMin: 10, SMax: 60, TDMax: 5, Sigma: 0.25, MaxIdle: 3, Seed: 1}
+
+	faultinject.Set("a/c", faultinject.Fault{Err: errors.New("flaky sensor")})
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := core.SearchAllContext(context.Background(), ss, opts, core.SweepOptions{Checkpoint: j})
+	if len(first) != 3 {
+		t.Fatalf("want 3 pairs, got %d", len(first))
+	}
+	for _, pr := range first {
+		failed := pr.XName == "a" && pr.YName == "c"
+		if failed != (pr.Err != nil) {
+			t.Fatalf("pair (%s,%s): Err=%v", pr.XName, pr.YName, pr.Err)
+		}
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal holds %d pairs after faulty sweep, want 2", j.Len())
+	}
+	j.Close() // the "kill"
+
+	faultinject.Clear()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	second := core.SearchAllContext(context.Background(), ss, opts, core.SweepOptions{Checkpoint: j2})
+	recomputed := 0
+	for i, pr := range second {
+		if pr.Err != nil {
+			t.Fatalf("pair (%s,%s) failed on resume: %v", pr.XName, pr.YName, pr.Err)
+		}
+		if pr.FromCheckpoint {
+			if pr.Attempts != 0 {
+				t.Errorf("restored pair (%s,%s) reports %d attempts", pr.XName, pr.YName, pr.Attempts)
+			}
+			// Restored results must round-trip exactly.
+			a, b := first[i].Result, pr.Result
+			if a.Stats != b.Stats || len(a.Windows) != len(b.Windows) {
+				t.Errorf("restored pair (%s,%s) differs from the original result", pr.XName, pr.YName)
+			}
+			continue
+		}
+		recomputed++
+		if pr.XName != "a" || pr.YName != "c" {
+			t.Errorf("journaled pair (%s,%s) was recomputed", pr.XName, pr.YName)
+		}
+	}
+	if recomputed != 1 {
+		t.Errorf("resume recomputed %d pairs, want exactly the 1 unjournaled pair", recomputed)
+	}
+	if j2.Len() != 3 {
+		t.Errorf("journal holds %d pairs after resume, want 3", j2.Len())
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"tycos/internal/mi"
 	"tycos/internal/window"
@@ -93,6 +94,15 @@ type Options struct {
 	// without adding measurable information; 0.01 is a good value for count
 	// data. 0 disables (default).
 	Jitter float64
+	// MaxEvaluations, when positive, bounds the number of scored windows: the
+	// search stops deterministically at the first restart or climb-iteration
+	// boundary at or past the budget, returning the windows accepted so far
+	// with Partial set and StopReason = StopBudget. 0 disables the budget.
+	MaxEvaluations int
+	// Deadline, when non-zero, bounds the search's wall-clock time the same
+	// way (StopReason = StopDeadline). Context cancellation (SearchContext)
+	// is independent of — and composes with — both budgets.
+	Deadline time.Time
 	// SignificanceLevel, when positive, subtracts a calibrated null level
 	// (mean + SignificanceLevel·std of the KSG estimate on shuffled data of
 	// the same window size) from every raw MI before normalization. This
@@ -102,6 +112,12 @@ type Options struct {
 	SignificanceLevel float64
 	// Seed drives all randomness; equal seeds give identical searches.
 	Seed int64
+
+	// onCandidate, when set (package tests only), observes each completed
+	// climb's local optimum in acceptance order. The prefix-consistency
+	// tests use it to verify that an interrupted search's candidates are
+	// exactly a prefix of the uninterrupted run's.
+	onCandidate func(window.Scored)
 }
 
 // withDefaults returns a copy of o with zero fields replaced by defaults.
@@ -150,6 +166,21 @@ func (o Options) validate(n int) error {
 	return nil
 }
 
+// StopReason records why a search stopped.
+type StopReason string
+
+const (
+	// StopCompleted marks a search that covered the whole pair.
+	StopCompleted StopReason = "completed"
+	// StopCancelled marks a search cut short by context cancellation.
+	StopCancelled StopReason = "cancelled"
+	// StopDeadline marks a search cut short by Options.Deadline or a
+	// context/pair deadline expiring.
+	StopDeadline StopReason = "deadline"
+	// StopBudget marks a search cut short by Options.MaxEvaluations.
+	StopBudget StopReason = "budget"
+)
+
 // Stats counts the work a search performed; the efficiency evaluation
 // reports these alongside wall-clock time.
 type Stats struct {
@@ -165,6 +196,9 @@ type Stats struct {
 	PrunedDirections int
 	// NoiseBlocks counts s_min blocks discarded by initial noise pruning.
 	NoiseBlocks int
+	// StopReason records why the search stopped (StopCompleted when it
+	// covered the whole pair).
+	StopReason StopReason
 }
 
 // Result is the outcome of a search: the accepted windows (scored with the
@@ -172,4 +206,11 @@ type Stats struct {
 type Result struct {
 	Windows []window.Scored
 	Stats   Stats
+	// Partial marks a result cut short by cancellation, a deadline or an
+	// evaluation budget. The windows are still valid accepted correlations:
+	// they are exactly what an uninterrupted run would have produced over
+	// the region scanned before the stop (Stats.StopReason says why). Only
+	// climbs that finished contribute; an in-flight climb is discarded so
+	// partial results stay prefix-consistent and deterministic.
+	Partial bool
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
+	"time"
 
 	"tycos/internal/lahc"
 	"tycos/internal/mi"
@@ -18,6 +21,8 @@ type searcher struct {
 	scorer scorer
 	rng    *rand.Rand
 	stats  Stats
+	ctx    context.Context
+	stop   StopReason // first triggered stop condition ("" while running)
 }
 
 // Search runs TYCOS over the pair with the configured variant and returns
@@ -30,9 +35,22 @@ type searcher struct {
 // improve, the local optimum is recorded and the search restarts on the
 // unscanned remainder until the pair is covered.
 func Search(p series.Pair, opts Options) (Result, error) {
+	return SearchContext(context.Background(), p, opts)
+}
+
+// SearchContext is Search with cooperative cancellation. The context is
+// checked at restart and climb-iteration boundaries; on cancellation (or an
+// exceeded Options budget) the search returns the windows accepted so far
+// with Result.Partial set and Stats.StopReason recording the cause, rather
+// than an error — partial results from a cancelled search remain valid,
+// prefix-consistent output.
+func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(p.Len()); err != nil {
 		return Result{}, err
+	}
+	if err := p.CheckFinite(); err != nil {
+		return Result{}, errors.New("core: " + err.Error() + " (clean the input with series.FillMissing)")
 	}
 	p = jitterPair(p, opts.Jitter, opts.Seed)
 	s := &searcher{
@@ -40,6 +58,7 @@ func Search(p series.Pair, opts Options) (Result, error) {
 		opts: opts,
 		cons: opts.constraints(p.Len()),
 		rng:  rand.New(rand.NewSource(opts.Seed)),
+		ctx:  ctx,
 	}
 	var null *nullModel
 	if opts.SignificanceLevel > 0 {
@@ -62,11 +81,20 @@ func Search(p series.Pair, opts Options) (Result, error) {
 	scanFrom := 0
 	n := p.Len()
 	for scanFrom+opts.SMin <= n {
+		if s.checkStop() {
+			break
+		}
 		w0, ok := s.initialWindow(scanFrom)
 		if !ok {
 			break
 		}
-		best, bestScore := s.climb(w0)
+		best, bestScore, completed := s.climb(w0)
+		if !completed {
+			// The interrupted climb's best-so-far may differ from what the
+			// full climb would have settled on; dropping it keeps partial
+			// results a prefix of the uninterrupted run.
+			break
+		}
 		if null != nil {
 			// The reported and thresholded score is the significance-
 			// corrected one; the climb's internal score is uncorrected.
@@ -78,6 +106,9 @@ func Search(p series.Pair, opts Options) (Result, error) {
 			topk = mi.NewTopK(opts.TopK, bestScore)
 		}
 		candidates = append(candidates, window.Scored{Window: best, MI: bestScore})
+		if opts.onCandidate != nil {
+			opts.onCandidate(window.Scored{Window: best, MI: bestScore})
+		}
 		if topk != nil {
 			topk.Offer(bestScore)
 		}
@@ -106,7 +137,43 @@ func Search(p series.Pair, opts Options) (Result, error) {
 		sort.Slice(items, func(i, j int) bool { return items[i].Start < items[j].Start })
 	}
 	s.stats.MIBatch, s.stats.MIIncremental = s.scorer.stats()
-	return Result{Windows: items, Stats: s.stats}, nil
+	if s.stop == "" {
+		s.stop = StopCompleted
+	}
+	s.stats.StopReason = s.stop
+	return Result{Windows: items, Stats: s.stats, Partial: s.stop != StopCompleted}, nil
+}
+
+// checkStop records the first exceeded budget or cancellation and reports
+// whether the search must stop. It is called at restart and climb-iteration
+// boundaries only, so a stop never interrupts a neighbourhood evaluation —
+// that keeps the stop point, and hence the returned windows, deterministic
+// for the deterministic budgets. The evaluation budget is checked before the
+// context so that a run configured with both stops identically whether or
+// not the context also fired.
+func (s *searcher) checkStop() bool {
+	if s.stop != "" {
+		return true
+	}
+	if s.opts.MaxEvaluations > 0 && s.stats.WindowsEvaluated >= s.opts.MaxEvaluations {
+		s.stop = StopBudget
+		return true
+	}
+	select {
+	case <-s.ctx.Done():
+		if errors.Is(s.ctx.Err(), context.DeadlineExceeded) {
+			s.stop = StopDeadline
+		} else {
+			s.stop = StopCancelled
+		}
+		return true
+	default:
+	}
+	if !s.opts.Deadline.IsZero() && !time.Now().Before(s.opts.Deadline) {
+		s.stop = StopDeadline
+		return true
+	}
+	return false
 }
 
 // initialWindow picks the starting solution for a climb: the plain variants
@@ -121,11 +188,12 @@ func (s *searcher) initialWindow(from int) (window.Window, bool) {
 }
 
 // climb runs one LAHC ascent from w0 and returns the best feasible window
-// seen with its score.
-func (s *searcher) climb(w0 window.Window) (window.Window, float64) {
+// seen with its score. completed is false when a stop condition interrupted
+// the ascent before its idle budget ran out.
+func (s *searcher) climb(w0 window.Window) (best window.Window, bestScore float64, completed bool) {
 	cur := w0
 	curScore := s.mustScore(cur)
-	best, bestScore := cur, curScore
+	best, bestScore = cur, curScore
 
 	acceptor := lahc.New(s.opts.HistoryLength, curScore, s.rng)
 	idle := 0
@@ -140,6 +208,9 @@ func (s *searcher) climb(w0 window.Window) (window.Window, float64) {
 	maxIters := 100*s.opts.MaxIdle + 2*s.opts.SMax/s.opts.Delta
 
 	for iter := 0; idle < s.opts.MaxIdle && iter < maxIters; iter++ {
+		if s.checkStop() {
+			return best, bestScore, false
+		}
 		neighbors := neighborhood(cur, s.opts.Delta, level, s.cons, pruned)
 		if len(neighbors) == 0 {
 			idle++
@@ -178,7 +249,7 @@ func (s *searcher) climb(w0 window.Window) (window.Window, float64) {
 			level++
 		}
 	}
-	return best, bestScore
+	return best, bestScore, true
 }
 
 // mustScore scores a window, mapping estimation failures (degenerate or

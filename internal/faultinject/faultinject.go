@@ -1,0 +1,96 @@
+// Package faultinject is a test-only fault registry used to exercise the
+// robustness paths of multi-pair sweeps: panics, errors and slowdowns keyed
+// off pair names. Production code calls Fire at its injection points; the
+// call is inert (a single atomic load) unless a test has armed the registry
+// with Set, so the hook costs nothing outside tests.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes the behaviour injected for one key. Delay is applied
+// first, then Panic, then Err; a zero Fault is a no-op.
+type Fault struct {
+	// Panic, when non-empty, makes Fire panic with this message.
+	Panic string
+	// Err, when non-nil, is returned (wrapped) by Fire.
+	Err error
+	// Delay is slept before panicking/returning.
+	Delay time.Duration
+	// Times limits how many Fire calls trigger the fault; afterwards the
+	// key behaves as if no fault were set. 0 means every call triggers.
+	Times int
+}
+
+type entry struct {
+	fault Fault
+	fired int
+}
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	table map[string]*entry
+)
+
+// Set arms the registry and installs (or replaces) the fault for key,
+// resetting its fired count.
+func Set(key string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if table == nil {
+		table = make(map[string]*entry)
+	}
+	table[key] = &entry{fault: f}
+	armed.Store(true)
+}
+
+// Clear disarms the registry and removes every fault. Tests should defer it.
+func Clear() {
+	mu.Lock()
+	defer mu.Unlock()
+	table = nil
+	armed.Store(false)
+}
+
+// Fired reports how many times the fault for key has triggered.
+func Fired(key string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if e, ok := table[key]; ok {
+		return e.fired
+	}
+	return 0
+}
+
+// Fire triggers the fault registered for key, if any: it sleeps Delay, then
+// panics or returns the configured error. With no armed fault it returns nil
+// immediately.
+func Fire(key string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	e, ok := table[key]
+	if !ok || (e.fault.Times > 0 && e.fired >= e.fault.Times) {
+		mu.Unlock()
+		return nil
+	}
+	e.fired++
+	f := e.fault
+	mu.Unlock()
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+	if f.Err != nil {
+		return fmt.Errorf("faultinject: %s: %w", key, f.Err)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInertWhenUnarmed(t *testing.T) {
+	Clear()
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("unarmed Fire returned %v", err)
+	}
+}
+
+func TestErrorInjectionAndTimes(t *testing.T) {
+	defer Clear()
+	boom := errors.New("boom")
+	Set("a/b", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("a/b"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := Fire("a/b"); err != nil {
+		t.Fatalf("fault fired past its Times budget: %v", err)
+	}
+	if Fired("a/b") != 2 {
+		t.Errorf("Fired = %d, want 2", Fired("a/b"))
+	}
+	if err := Fire("other"); err != nil {
+		t.Errorf("unkeyed Fire returned %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer Clear()
+	Set("p", Fault{Panic: "kaboom"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("no panic fired")
+		}
+	}()
+	Fire("p")
+}
+
+func TestDelayInjection(t *testing.T) {
+	defer Clear()
+	Set("slow", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("Fire returned after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	Set("x", Fault{Panic: "nope"})
+	Clear()
+	if err := Fire("x"); err != nil {
+		t.Fatalf("Fire after Clear: %v", err)
+	}
+	if Fired("x") != 0 {
+		t.Errorf("Fired after Clear = %d", Fired("x"))
+	}
+}

@@ -3,6 +3,7 @@ package mi
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"tycos/internal/knn"
 	"tycos/internal/mathx"
@@ -34,8 +35,11 @@ type Incremental struct {
 
 	state map[int]*pointState
 
-	// digammaSum caches Σ_i ψ(n_x_i) + ψ(n_y_i) so MI() is O(1).
-	digammaSum float64
+	// ids keeps the maintained ids sorted. MI() folds the per-point digamma
+	// terms in this order: floating-point addition is not associative, so
+	// summing in map-iteration order would make the estimate — and hence
+	// entire search trajectories — vary from run to run at the ulp level.
+	ids []int
 
 	// scratch is reused across kNN refresh queries to avoid allocation in
 	// the hottest loop.
@@ -118,9 +122,26 @@ func NewIncrementalBulk(k int, cellSize float64, ids []int, xs, ys []float64) *I
 		inc.xs.Insert(xs[i])
 		inc.ys.Insert(ys[i])
 		inc.state[id] = &pointState{p: o}
+		inc.insertID(id)
 	}
 	inc.rebuildAll()
 	return inc
+}
+
+// insertID adds id to the sorted id list.
+func (inc *Incremental) insertID(id int) {
+	i := sort.SearchInts(inc.ids, id)
+	inc.ids = append(inc.ids, 0)
+	copy(inc.ids[i+1:], inc.ids[i:])
+	inc.ids[i] = id
+}
+
+// removeID drops id from the sorted id list.
+func (inc *Incremental) removeID(id int) {
+	i := sort.SearchInts(inc.ids, id)
+	if i < len(inc.ids) && inc.ids[i] == id {
+		inc.ids = append(inc.ids[:i], inc.ids[i+1:]...)
+	}
 }
 
 // Len returns the number of points currently maintained.
@@ -156,6 +177,7 @@ func (inc *Incremental) Insert(id int, x, y float64) {
 	inc.ys.Insert(y)
 	st := &pointState{p: o}
 	inc.state[id] = st
+	inc.insertID(id)
 
 	if small {
 		inc.rebuildAll()
@@ -166,7 +188,6 @@ func (inc *Incremental) Insert(id int, x, y float64) {
 		inc.refreshPoint(pid)
 	}
 	inc.computePoint(id, st)
-	inc.digammaSum += st.digammas()
 }
 
 // Remove deletes the sample under id, reporting whether it existed.
@@ -177,13 +198,11 @@ func (inc *Incremental) Remove(id int) bool {
 	}
 	o := st.p
 	valid := len(inc.state) > inc.k // pre-removal cached state is meaningful
-	if valid {
-		inc.digammaSum -= st.digammas()
-	}
 	inc.grid.Remove(id)
 	inc.xs.Remove(o.X)
 	inc.ys.Remove(o.Y)
 	delete(inc.state, id)
+	inc.removeID(id)
 
 	if !valid || len(inc.state) <= inc.k {
 		inc.rebuildAll()
@@ -211,20 +230,16 @@ func (inc *Incremental) classify(o knn.Point, sign int) []int {
 			continue
 		}
 		if math.Abs(o.X-st.p.X) <= st.dx {
-			inc.digammaSum -= st.digammas()
 			st.nx += sign
 			if st.nx < 1 {
 				st.nx = 1
 			}
-			inc.digammaSum += st.digammas()
 		}
 		if math.Abs(o.Y-st.p.Y) <= st.dy {
-			inc.digammaSum -= st.digammas()
 			st.ny += sign
 			if st.ny < 1 {
 				st.ny = 1
 			}
-			inc.digammaSum += st.digammas()
 		}
 	}
 	inc.refreshBuf = refresh
@@ -232,12 +247,9 @@ func (inc *Incremental) classify(o knn.Point, sign int) []int {
 }
 
 // refreshPoint recomputes the cached state of an existing point after its
-// neighbourhood changed, keeping digammaSum consistent.
+// neighbourhood changed.
 func (inc *Incremental) refreshPoint(id int) {
-	st := inc.state[id]
-	inc.digammaSum -= st.digammas()
-	inc.computePoint(id, st)
-	inc.digammaSum += st.digammas()
+	inc.computePoint(id, inc.state[id])
 }
 
 // computePoint fills st with a fresh k-NN search and marginal counts.
@@ -272,23 +284,28 @@ func (inc *Incremental) computePoint(id int, st *pointState) {
 // rebuildAll recomputes every point's state from scratch. Called when the
 // population crosses the k threshold where incremental state is undefined.
 func (inc *Incremental) rebuildAll() {
-	inc.digammaSum = 0
 	if len(inc.state) <= inc.k {
 		return
 	}
 	for id, st := range inc.state {
 		inc.computePoint(id, st)
-		inc.digammaSum += st.digammas()
 	}
 }
 
 // MI returns the current KSG estimate (Eq. 2) over the maintained points,
-// or an error when fewer than k+1 points are present.
+// or an error when fewer than k+1 points are present. The digamma terms are
+// folded in sorted-id order — ψ(n) is a table lookup, so the pass is a cheap
+// price for estimates (and search trajectories) that are bit-for-bit
+// reproducible no matter in which order the influence updates ran.
 func (inc *Incremental) MI() (float64, error) {
 	m := len(inc.state)
 	if m <= inc.k {
 		return 0, fmt.Errorf("%w: m=%d, k=%d", ErrTooFewSamples, m, inc.k)
 	}
+	var digammaSum float64
+	for _, id := range inc.ids {
+		digammaSum += inc.state[id].digammas()
+	}
 	k := float64(inc.k)
-	return mathx.DigammaInt(inc.k) - 1/k - inc.digammaSum/float64(m) + mathx.Digamma(float64(m)), nil
+	return mathx.DigammaInt(inc.k) - 1/k - digammaSum/float64(m) + mathx.Digamma(float64(m)), nil
 }

@@ -231,6 +231,22 @@ func MustPair(x, y Series) Pair {
 // Len returns the common length of the pair.
 func (p Pair) Len() int { return p.X.Len() }
 
+// CheckFinite returns a descriptive error when either series contains a NaN
+// or infinite value, naming the series and the first offending index. The
+// KSG estimator silently produces garbage distances (and hence garbage
+// scores) on non-finite input, so the search validates pairs up front;
+// FillMissing repairs NaN gaps by interpolation.
+func (p Pair) CheckFinite() error {
+	for _, s := range [2]Series{p.X, p.Y} {
+		for i, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("series: %q has non-finite value %v at index %d", s.Name, v, i)
+			}
+		}
+	}
+	return nil
+}
+
 // DelaySlice extracts the aligned sub-pair for a time-delay window
 // (Definition 4.5): X over [start, end] and Y over [start+delay, end+delay].
 // It returns an error if either interval falls outside the observation

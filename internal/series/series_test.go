@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -213,5 +214,24 @@ func TestWriteCSVValidation(t *testing.T) {
 	}
 	if err := WriteCSV(&buf, New("a", make([]float64, 2)), New("b", make([]float64, 3))); err == nil {
 		t.Error("ragged columns must fail")
+	}
+}
+
+func TestPairCheckFinite(t *testing.T) {
+	ok := MustPair(New("x", []float64{1, 2, 3, 4}), New("y", []float64{4, 3, 2, 1}))
+	if err := ok.CheckFinite(); err != nil {
+		t.Errorf("finite pair rejected: %v", err)
+	}
+	bad := MustPair(New("x", []float64{1, math.NaN(), 3, 4}), New("y", []float64{4, 3, 2, 1}))
+	err := bad.CheckFinite()
+	if err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if !strings.Contains(err.Error(), `"x"`) || !strings.Contains(err.Error(), "index 1") {
+		t.Errorf("error %q does not name the series and index", err)
+	}
+	inf := MustPair(New("x", []float64{1, 2, 3, 4}), New("y", []float64{4, 3, math.Inf(-1), 1}))
+	if err := inf.CheckFinite(); err == nil || !strings.Contains(err.Error(), `"y"`) {
+		t.Errorf("Inf in y: %v", err)
 	}
 }

@@ -32,6 +32,9 @@
 package tycos
 
 import (
+	"context"
+
+	"tycos/internal/checkpoint"
 	"tycos/internal/core"
 	"tycos/internal/mi"
 	"tycos/internal/series"
@@ -100,9 +103,47 @@ func LoadPairCSV(path, xName, yName string) (Pair, error) {
 	return series.LoadPairCSV(path, xName, yName)
 }
 
+// LoadAllCSV reads every column of a headered CSV file as a series,
+// interpolating missing values — the input shape SearchAllContext sweeps.
+func LoadAllCSV(path string) ([]Series, error) {
+	cols, err := series.LoadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cols {
+		cols[i].Values = series.FillMissing(cols[i].Values)
+	}
+	return cols, nil
+}
+
 // Search runs TYCOS over the pair and returns the accepted non-overlapping
 // time-delay windows sorted by start index.
 func Search(p Pair, opts Options) (Result, error) { return core.Search(p, opts) }
+
+// SearchContext is Search with cooperative cancellation: cancelling ctx (or
+// exhausting Options.MaxEvaluations / Options.Deadline) stops the search at
+// the next climb-iteration or restart boundary and returns the windows
+// accepted so far with Result.Partial set and Stats.StopReason recording the
+// cause — not an error. Partial results are prefix-consistent: they match
+// what the uninterrupted run would have produced over the scanned region.
+func SearchContext(ctx context.Context, p Pair, opts Options) (Result, error) {
+	return core.SearchContext(ctx, p, opts)
+}
+
+// StopReason says why a search stopped (Stats.StopReason).
+type StopReason = core.StopReason
+
+// The stop reasons a search can report.
+const (
+	// StopCompleted marks a search that covered the whole pair.
+	StopCompleted = core.StopCompleted
+	// StopCancelled marks a search cut short by context cancellation.
+	StopCancelled = core.StopCancelled
+	// StopDeadline marks a search cut short by a deadline or pair timeout.
+	StopDeadline = core.StopDeadline
+	// StopBudget marks a search cut short by Options.MaxEvaluations.
+	StopBudget = core.StopBudget
+)
 
 // BruteForce enumerates and scores every feasible window — exact but
 // exponentially slower; use it only on small inputs or for validation.
@@ -134,3 +175,25 @@ type PairResult = core.PairResult
 func SearchAll(ss []Series, opts Options, parallelism int) []PairResult {
 	return core.SearchAll(ss, opts, parallelism)
 }
+
+// SweepOptions configures the robustness envelope of a SearchAllContext
+// sweep: worker count, per-pair retries and timeouts, and checkpointing.
+type SweepOptions = core.SweepOptions
+
+// SearchAllContext is SearchAll with cancellation and fault isolation: a
+// panicking pair becomes its PairResult.Err (with stack) instead of killing
+// the sweep, failed pairs are retried up to SweepOptions.Retries extra
+// times, and a Checkpoint makes an interrupted sweep resumable — journaled
+// pairs are restored instead of recomputed.
+func SearchAllContext(ctx context.Context, ss []Series, opts Options, sw SweepOptions) []PairResult {
+	return core.SearchAllContext(ctx, ss, opts, sw)
+}
+
+// Checkpoint is a JSONL-backed journal of completed pair results; plug it
+// into SweepOptions.Checkpoint to make a multi-pair sweep survive kills and
+// restarts. Safe for concurrent use.
+type Checkpoint = checkpoint.Journal
+
+// OpenCheckpoint opens (or creates) the sweep journal at path, recovering
+// every intact record; a torn final line from a killed process is skipped.
+func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Open(path) }

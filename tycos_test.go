@@ -1,9 +1,12 @@
 package tycos_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"tycos"
@@ -134,4 +137,79 @@ func ExampleSearch() {
 	}
 	// Output:
 	// found a correlated window of ≥90 samples: true, delay: 0
+}
+
+func TestPublicSearchContextAndSweep(t *testing.T) {
+	p := examplePair(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := tycos.SearchContext(ctx, p, tycos.Options{
+		SMin: 10, SMax: 80, TDMax: 5, Sigma: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stats.StopReason != tycos.StopCancelled {
+		t.Errorf("cancelled public search: Partial=%v StopReason=%q", res.Partial, res.Stats.StopReason)
+	}
+
+	// A checkpointed sweep through the public API: second run restores
+	// every pair from the journal.
+	dir := t.TempDir()
+	ckpt, err := tycos.OpenCheckpoint(filepath.Join(dir, "sweep.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	ss := []tycos.Series{
+		tycos.NewSeries("a", p.X.Values),
+		tycos.NewSeries("b", p.Y.Values),
+	}
+	opts := tycos.Options{SMin: 10, SMax: 80, TDMax: 5, Sigma: 0.25, MaxIdle: 3}
+	sw := tycos.SweepOptions{Checkpoint: ckpt, Retries: 1}
+	first := tycos.SearchAllContext(context.Background(), ss, opts, sw)
+	if len(first) != 1 || first[0].Err != nil {
+		t.Fatalf("sweep failed: %+v", first)
+	}
+	second := tycos.SearchAllContext(context.Background(), ss, opts, sw)
+	if !second[0].FromCheckpoint {
+		t.Error("journaled pair was recomputed through the public API")
+	}
+	if ckpt.Len() != 1 {
+		t.Errorf("journal Len = %d, want 1", ckpt.Len())
+	}
+}
+
+func TestPublicLoadAllCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte("a,b,c\n1,4,\n2,,8\n3,6,9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cols, err := tycos.LoadAllCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("want 3 columns, got %d", len(cols))
+	}
+	for _, c := range cols {
+		for i, v := range c.Values {
+			if math.IsNaN(v) {
+				t.Errorf("column %q still has NaN at %d", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestPublicMaxEvaluationsBudget(t *testing.T) {
+	p := examplePair(1)
+	res, err := tycos.Search(p, tycos.Options{
+		SMin: 10, SMax: 80, TDMax: 5, Sigma: 0.25, MaxEvaluations: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stats.StopReason != tycos.StopBudget {
+		t.Errorf("budgeted search: Partial=%v StopReason=%q", res.Partial, res.Stats.StopReason)
+	}
 }
