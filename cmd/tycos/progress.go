@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"tycos"
+)
+
+// progressSink renders a single live progress line for -all sweeps: pairs
+// done, windows found so far, failures, and an ETA extrapolated from the
+// average pair duration. It redraws in place with a carriage return, so it
+// belongs on stderr — stdout stays clean, parseable result lines. Renders
+// are throttled to one per renderEvery except the final one, which is always
+// drawn (and newline-terminated) so the finished state is never lost to the
+// throttle. PairFinished is the only event it consumes; sweeps deliver it
+// from many workers at once, hence the mutex.
+type progressSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	start   time.Time
+	last    time.Time // last render, zero until the first
+	done    int
+	total   int
+	windows int
+	failed  int
+	width   int // widest line drawn so far, for trailing-garbage erasure
+
+	now func() time.Time // test hook
+}
+
+// renderEvery caps redraw frequency: fast sweeps finish hundreds of pairs
+// per second and unthrottled redraws would swamp the terminal.
+const renderEvery = 100 * time.Millisecond
+
+func newProgressSink(w io.Writer) *progressSink {
+	return &progressSink{w: w, now: time.Now}
+}
+
+func (p *progressSink) Event(e tycos.Event) {
+	pf, ok := e.(tycos.PairFinished)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = p.now()
+	}
+	p.total = pf.Total
+	p.done++
+	p.windows += pf.Windows
+	if pf.Err != "" {
+		p.failed++
+	}
+	p.render(p.done >= p.total)
+}
+
+func (p *progressSink) Count(name string, delta int64)           {}
+func (p *progressSink) PhaseEnd(ph tycos.Phase, d time.Duration) {}
+
+// render draws the current state; it assumes p.mu is held.
+func (p *progressSink) render(final bool) {
+	now := p.now()
+	if !final && !p.last.IsZero() && now.Sub(p.last) < renderEvery {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("sweep: %d/%d pairs  %d windows", p.done, p.total, p.windows)
+	if p.failed > 0 {
+		line += fmt.Sprintf("  %d failed", p.failed)
+	}
+	if final {
+		line += fmt.Sprintf("  done in %s", elapsed.Round(time.Millisecond))
+	} else if p.done > 0 {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	}
+	pad := ""
+	if n := p.width - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	if len(line) > p.width {
+		p.width = len(line)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	if final {
+		fmt.Fprintln(p.w)
+	}
+}

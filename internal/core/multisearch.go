@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tycos/internal/faultinject"
+	"tycos/internal/obs"
 	"tycos/internal/series"
 )
 
@@ -115,7 +116,7 @@ func SearchAllContext(ctx context.Context, ss []series.Series, opts Options, sw 
 		go func() {
 			defer wg.Done()
 			for jb := range ch {
-				out[jb.pos] = searchPair(ctx, jb.x, jb.y, opts, sw)
+				out[jb.pos] = searchPair(ctx, jb.x, jb.y, opts, sw, jb.pos, len(jobs))
 			}
 		}()
 	}
@@ -139,13 +140,39 @@ feed:
 }
 
 // searchPair resolves one pair: checkpoint restore, then up to 1+Retries
-// isolated attempts, then journaling of a completed result.
-func searchPair(ctx context.Context, x, y series.Series, opts Options, sw SweepOptions) PairResult {
+// isolated attempts, then journaling of a completed result. Every resolution
+// — searched, restored or failed — emits exactly one obs.PairFinished; each
+// search attempt emits one obs.PairStarted first.
+func searchPair(ctx context.Context, x, y series.Series, opts Options, sw SweepOptions, pos, total int) PairResult {
 	pr := PairResult{XName: x.Name, YName: y.Name}
+	o := opts.Observer
+	pairName := x.Name + "/" + y.Name
+	start := time.Now()
+	finish := func() {
+		if o == nil {
+			return
+		}
+		errMsg := ""
+		if pr.Err != nil {
+			errMsg = pr.Err.Error()
+		}
+		o.Event(obs.PairFinished{
+			Pair:           pairName,
+			Attempt:        pr.Attempts,
+			Index:          pos,
+			Total:          total,
+			Windows:        len(pr.Result.Windows),
+			Partial:        pr.Result.Partial,
+			FromCheckpoint: pr.FromCheckpoint,
+			Err:            errMsg,
+			Duration:       time.Since(start),
+		})
+	}
 	if sw.Checkpoint != nil {
 		if res, ok := sw.Checkpoint.Lookup(x.Name, y.Name); ok {
 			pr.Result = res
 			pr.FromCheckpoint = true
+			finish()
 			return pr
 		}
 	}
@@ -158,9 +185,13 @@ func searchPair(ctx context.Context, x, y series.Series, opts Options, sw SweepO
 			if pr.Err == nil {
 				pr.Err = fmt.Errorf("core: pair (%s, %s): %w", x.Name, y.Name, err)
 			}
+			finish()
 			return pr
 		}
 		pr.Attempts = try
+		if o != nil {
+			o.Event(obs.PairStarted{Pair: pairName, Attempt: try, Index: pos, Total: total})
+		}
 		res, err := searchPairOnce(ctx, x, y, opts, sw.PairTimeout)
 		if err == nil {
 			pr.Result, pr.Err = res, nil
@@ -173,6 +204,7 @@ func searchPair(ctx context.Context, x, y series.Series, opts Options, sw SweepO
 			pr.Err = fmt.Errorf("core: pair (%s, %s): checkpoint: %w", x.Name, y.Name, err)
 		}
 	}
+	finish()
 	return pr
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tycos/internal/mi"
+	"tycos/internal/obs"
 	"tycos/internal/window"
 )
 
@@ -112,6 +113,15 @@ type Options struct {
 	SignificanceLevel float64
 	// Seed drives all randomness; equal seeds give identical searches.
 	Seed int64
+	// Observer, when non-nil, receives the search's typed events
+	// (restarts, climbs, accepted candidates, noise prunes), phase timings
+	// and end-of-search counter totals — see internal/obs for the event
+	// schema and the provided sinks. The default nil observer costs one nil
+	// check on the hot path; a SearchAll sweep shares the observer across
+	// its workers, so implementations must be safe for concurrent use.
+	// Observability never alters the search: results and Stats are
+	// identical with and without an observer.
+	Observer obs.Sink
 
 	// onCandidate, when set (package tests only), observes each completed
 	// climb's local optimum in acceptance order. The prefix-consistency
@@ -199,6 +209,27 @@ type Stats struct {
 	// StopReason records why the search stopped (StopCompleted when it
 	// covered the whole pair).
 	StopReason StopReason
+	// Timing is the wall-clock breakdown of the search. Unlike the counters
+	// above it is not deterministic across runs; comparisons that assert
+	// bit-exact Stats repeatability must zero it first.
+	Timing Timing
+}
+
+// Timing is the wall-clock phase breakdown of one search, mirroring the
+// obs.Phase* timers: validation (input checks + jitter), null-model
+// calibration (zero when significance correction is off), the restart/climb
+// loop, and finalisation (thresholding, top-K, overlap resolution).
+type Timing struct {
+	// Validate, NullModel, Climb and Finalize are the per-phase durations.
+	Validate  time.Duration
+	NullModel time.Duration
+	Climb     time.Duration
+	Finalize  time.Duration
+	// Total is the end-to-end duration of the search call.
+	Total time.Duration
+	// EvalsPerSec is WindowsEvaluated divided by Total — the search's
+	// throughput in scored windows per second.
+	EvalsPerSec float64
 }
 
 // Result is the outcome of a search: the accepted windows (scored with the

@@ -31,6 +31,16 @@ type scorer interface {
 	finalScore(w window.Window) (float64, error)
 	// stats exposes the work counters accumulated so far.
 	stats() (batch, incremental int)
+	// counters exposes the estimator-level work counters beneath stats()
+	// (KSG estimations, incremental point operations) for the observability
+	// layer. Called once per search, at the end.
+	counters() []counter
+}
+
+// counter is one named estimator-level work total.
+type counter struct {
+	name  string
+	value int64
 }
 
 // batchScorer re-estimates every window independently.
@@ -80,6 +90,10 @@ func (s *batchScorer) scoreNull(w window.Window, null *nullModel) (float64, floa
 
 func (s *batchScorer) stats() (int, int) { return s.nBatch, 0 }
 
+func (s *batchScorer) counters() []counter {
+	return []counter{{"mi.ksg_estimates", int64(s.est.Estimates())}}
+}
+
 // incScorer keeps incremental KSG estimators positioned at recently scored
 // windows, one per time delay, and diffs each scored window against the
 // estimator of its delay. Same-delay moves are applied as edge
@@ -101,6 +115,11 @@ type incScorer struct {
 
 	nBatch int // rebuilds
 	nInc   int // incremental moves
+
+	// retired accumulates the op counters of estimators dropped from the
+	// cache (evicted or replaced), so counters() reports the whole search's
+	// point-level work, not just the survivors'.
+	retired mi.IncrementalOps
 }
 
 // incState is one cached estimator and the window it is positioned at.
@@ -243,9 +262,22 @@ func (s *incScorer) rebuild(w window.Window) (*incState, error) {
 	if len(s.states) >= maxIncStates {
 		s.evictLRU()
 	}
+	if old := s.states[w.Delay]; old != nil {
+		// Replaced in place (same delay, disjoint or large move): keep its
+		// work on the books.
+		s.retire(old)
+	}
 	s.states[w.Delay] = st
 	s.nBatch++
 	return st, nil
+}
+
+// retire folds a dropped estimator's op counters into the running totals.
+func (s *incScorer) retire(st *incState) {
+	ops := st.inc.Ops()
+	s.retired.Inserts += ops.Inserts
+	s.retired.Removes += ops.Removes
+	s.retired.Refreshes += ops.Refreshes
 }
 
 // evictLRU drops the least recently used cached estimator.
@@ -256,10 +288,26 @@ func (s *incScorer) evictLRU() {
 			oldestDelay, oldestUse = d, st.lastUse
 		}
 	}
+	s.retire(s.states[oldestDelay])
 	delete(s.states, oldestDelay)
 }
 
 func (s *incScorer) stats() (int, int) { return s.nBatch, s.nInc }
+
+func (s *incScorer) counters() []counter {
+	total := s.retired
+	for _, st := range s.states {
+		ops := st.inc.Ops()
+		total.Inserts += ops.Inserts
+		total.Removes += ops.Removes
+		total.Refreshes += ops.Refreshes
+	}
+	return []counter{
+		{"mi.inc_inserts", int64(total.Inserts)},
+		{"mi.inc_removes", int64(total.Removes)},
+		{"mi.inc_refreshes", int64(total.Refreshes)},
+	}
+}
 
 // gridCellFor tunes a grid cell size so a window of up to m points spread
 // over the joint span of xs and ys holds O(k) points per occupied cell.

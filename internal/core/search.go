@@ -9,6 +9,7 @@ import (
 
 	"tycos/internal/lahc"
 	"tycos/internal/mi"
+	"tycos/internal/obs"
 	"tycos/internal/series"
 	"tycos/internal/window"
 )
@@ -23,6 +24,23 @@ type searcher struct {
 	stats  Stats
 	ctx    context.Context
 	stop   StopReason // first triggered stop condition ("" while running)
+
+	obs       obs.Sink // Options.Observer; nil disables all emission
+	pairName  string   // "x/y" event label, "" for unnamed series
+	clockTick int      // deadline clock sampling counter (checkStop)
+}
+
+// obsWindow converts a search window into its observability mirror.
+func obsWindow(w window.Window) obs.Window {
+	return obs.Window{Start: w.Start, End: w.End, Delay: w.Delay}
+}
+
+// pairLabel names a pair for events; unnamed series yield "".
+func pairLabel(p series.Pair) string {
+	if p.X.Name == "" && p.Y.Name == "" {
+		return ""
+	}
+	return p.X.Name + "/" + p.Y.Name
 }
 
 // Search runs TYCOS over the pair with the configured variant and returns
@@ -45,6 +63,7 @@ func Search(p series.Pair, opts Options) (Result, error) {
 // than an error — partial results from a cancelled search remain valid,
 // prefix-consistent output.
 func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, error) {
+	start := time.Now()
 	opts = opts.withDefaults()
 	if err := opts.validate(p.Len()); err != nil {
 		return Result{}, err
@@ -54,16 +73,27 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 	}
 	p = jitterPair(p, opts.Jitter, opts.Seed)
 	s := &searcher{
-		pair: p,
-		opts: opts,
-		cons: opts.constraints(p.Len()),
-		rng:  rand.New(rand.NewSource(opts.Seed)),
-		ctx:  ctx,
+		pair:     p,
+		opts:     opts,
+		cons:     opts.constraints(p.Len()),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		ctx:      ctx,
+		obs:      opts.Observer,
+		pairName: pairLabel(p),
+	}
+	s.stats.Timing.Validate = time.Since(start)
+	if s.obs != nil {
+		s.obs.PhaseEnd(obs.PhaseValidate, s.stats.Timing.Validate)
 	}
 	var null *nullModel
 	if opts.SignificanceLevel > 0 {
 		// A dedicated RNG keeps the calibration from perturbing the walk.
+		nmStart := time.Now()
 		null = buildNullModel(p, opts, rand.New(rand.NewSource(opts.Seed+0x5eed)))
+		s.stats.Timing.NullModel = time.Since(nmStart)
+		if s.obs != nil {
+			s.obs.PhaseEnd(obs.PhaseNullModel, s.stats.Timing.NullModel)
+		}
 	}
 	if opts.Variant.incremental() {
 		sc := newIncScorer(p, opts.K, opts.Normalization, opts.SMax)
@@ -78,17 +108,22 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 	var candidates []window.Scored
 	var topk *mi.TopK
 
+	climbStart := time.Now()
 	scanFrom := 0
 	n := p.Len()
 	for scanFrom+opts.SMin <= n {
 		if s.checkStop() {
 			break
 		}
+		if s.obs != nil {
+			s.obs.Event(obs.RestartStarted{Pair: s.pairName, Restart: s.stats.Restarts, ScanFrom: scanFrom})
+		}
+		evalsBefore := s.stats.WindowsEvaluated
 		w0, ok := s.initialWindow(scanFrom)
 		if !ok {
 			break
 		}
-		best, bestScore, completed := s.climb(w0)
+		best, bestScore, iters, completed := s.climb(w0)
 		if !completed {
 			// The interrupted climb's best-so-far may differ from what the
 			// full climb would have settled on; dropping it keeps partial
@@ -101,6 +136,16 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 			if corrected, err := s.scorer.finalScore(best); err == nil {
 				bestScore = corrected
 			}
+		}
+		if s.obs != nil {
+			s.obs.Event(obs.ClimbFinished{
+				Pair:        s.pairName,
+				Restart:     s.stats.Restarts,
+				Window:      obsWindow(best),
+				Score:       bestScore,
+				Iterations:  iters,
+				Evaluations: s.stats.WindowsEvaluated - evalsBefore,
+			})
 		}
 		if topk == nil && opts.TopK > 0 {
 			topk = mi.NewTopK(opts.TopK, bestScore)
@@ -119,7 +164,12 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 		}
 		scanFrom = next
 	}
+	s.stats.Timing.Climb = time.Since(climbStart)
+	if s.obs != nil {
+		s.obs.PhaseEnd(obs.PhaseClimb, s.stats.Timing.Climb)
+	}
 
+	finStart := time.Now()
 	threshold := opts.Sigma
 	if topk != nil {
 		threshold = topk.Threshold()
@@ -141,8 +191,45 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 		s.stop = StopCompleted
 	}
 	s.stats.StopReason = s.stop
+	s.stats.Timing.Finalize = time.Since(finStart)
+	s.stats.Timing.Total = time.Since(start)
+	if secs := s.stats.Timing.Total.Seconds(); secs > 0 {
+		s.stats.Timing.EvalsPerSec = float64(s.stats.WindowsEvaluated) / secs
+	}
+	if s.obs != nil {
+		s.obs.PhaseEnd(obs.PhaseFinalize, s.stats.Timing.Finalize)
+		// One CandidateAccepted per returned window, in output order.
+		for _, it := range items {
+			s.obs.Event(obs.CandidateAccepted{Pair: s.pairName, Window: obsWindow(it.Window), Score: it.MI})
+		}
+		s.emitCounters()
+	}
 	return Result{Windows: items, Stats: s.stats, Partial: s.stop != StopCompleted}, nil
 }
+
+// emitCounters publishes the search's final counter totals to the observer.
+// Totals are emitted once per search rather than per increment, so counters
+// never touch the climb's hot path.
+func (s *searcher) emitCounters() {
+	s.obs.Count("windows_evaluated", int64(s.stats.WindowsEvaluated))
+	s.obs.Count("restarts", int64(s.stats.Restarts))
+	s.obs.Count("mi_batch", int64(s.stats.MIBatch))
+	s.obs.Count("mi_incremental", int64(s.stats.MIIncremental))
+	if s.opts.Variant.noise() {
+		s.obs.Count("pruned_directions", int64(s.stats.PrunedDirections))
+		s.obs.Count("noise_blocks", int64(s.stats.NoiseBlocks))
+	}
+	for _, c := range s.scorer.counters() {
+		s.obs.Count(c.name, c.value)
+	}
+}
+
+// deadlineCheckPeriod is how many checkStop calls pass between samples of
+// the wall clock for the Options.Deadline test. A climb's checkStop runs per
+// iteration, so on fast workloads an every-call time.Now() is the hottest
+// non-MI syscall in the loop; sampling every N calls bounds the overshoot to
+// N climb iterations while keeping the common path clock-free.
+const deadlineCheckPeriod = 32
 
 // checkStop records the first exceeded budget or cancellation and reports
 // whether the search must stop. It is called at restart and climb-iteration
@@ -150,7 +237,11 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 // that keeps the stop point, and hence the returned windows, deterministic
 // for the deterministic budgets. The evaluation budget is checked before the
 // context so that a run configured with both stops identically whether or
-// not the context also fired.
+// not the context also fired. The Options.Deadline clock is only sampled
+// every deadlineCheckPeriod calls (the first call included, so an already
+// expired deadline stops the search before any work): wall-clock stops are
+// inherently non-deterministic, so coarser sampling costs nothing, while the
+// deterministic MaxEvaluations budget above is still checked every call.
 func (s *searcher) checkStop() bool {
 	if s.stop != "" {
 		return true
@@ -169,9 +260,13 @@ func (s *searcher) checkStop() bool {
 		return true
 	default:
 	}
-	if !s.opts.Deadline.IsZero() && !time.Now().Before(s.opts.Deadline) {
-		s.stop = StopDeadline
-		return true
+	if !s.opts.Deadline.IsZero() {
+		sample := s.clockTick%deadlineCheckPeriod == 0
+		s.clockTick++
+		if sample && !time.Now().Before(s.opts.Deadline) {
+			s.stop = StopDeadline
+			return true
+		}
 	}
 	return false
 }
@@ -188,9 +283,10 @@ func (s *searcher) initialWindow(from int) (window.Window, bool) {
 }
 
 // climb runs one LAHC ascent from w0 and returns the best feasible window
-// seen with its score. completed is false when a stop condition interrupted
-// the ascent before its idle budget ran out.
-func (s *searcher) climb(w0 window.Window) (best window.Window, bestScore float64, completed bool) {
+// seen with its score, along with the number of loop iterations it ran.
+// completed is false when a stop condition interrupted the ascent before its
+// idle budget ran out.
+func (s *searcher) climb(w0 window.Window) (best window.Window, bestScore float64, iters int, completed bool) {
 	cur := w0
 	curScore := s.mustScore(cur)
 	best, bestScore = cur, curScore
@@ -208,8 +304,9 @@ func (s *searcher) climb(w0 window.Window) (best window.Window, bestScore float6
 	maxIters := 100*s.opts.MaxIdle + 2*s.opts.SMax/s.opts.Delta
 
 	for iter := 0; idle < s.opts.MaxIdle && iter < maxIters; iter++ {
+		iters = iter + 1
 		if s.checkStop() {
-			return best, bestScore, false
+			return best, bestScore, iters, false
 		}
 		neighbors := neighborhood(cur, s.opts.Delta, level, s.cons, pruned)
 		if len(neighbors) == 0 {
@@ -249,7 +346,7 @@ func (s *searcher) climb(w0 window.Window) (best window.Window, bestScore float6
 			level++
 		}
 	}
-	return best, bestScore, true
+	return best, bestScore, iters, true
 }
 
 // mustScore scores a window, mapping estimation failures (degenerate or

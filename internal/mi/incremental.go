@@ -46,7 +46,25 @@ type Incremental struct {
 	scratch []knn.Neighbor
 	// refreshBuf is reused for the per-update refresh candidate list.
 	refreshBuf []int
+
+	ops IncrementalOps
 }
+
+// IncrementalOps counts the point-level work an Incremental has performed.
+// Refreshes — one k-NN query plus two marginal interval counts each — are
+// the cost driver of the Lemma 3–6 update cascade, so the ratio
+// Refreshes/(Inserts+Removes) is the number to watch when profiling the
+// incremental scorer.
+type IncrementalOps struct {
+	// Inserts and Removes count committed point insertions and removals.
+	Inserts, Removes int
+	// Refreshes counts per-point state recomputations (cascaded refreshes,
+	// the updated point's own computation, and full rebuilds alike).
+	Refreshes int
+}
+
+// Ops returns the work counters accumulated since construction.
+func (inc *Incremental) Ops() IncrementalOps { return inc.ops }
 
 type pointState struct {
 	p      knn.Point
@@ -118,6 +136,7 @@ func NewIncrementalBulk(k int, cellSize float64, ids []int, xs, ys []float64) *I
 	inc := NewIncremental(k, cellSize)
 	for i, id := range ids {
 		o := knn.Point{X: xs[i], Y: ys[i]}
+		inc.ops.Inserts++
 		inc.grid.Insert(id, o)
 		inc.xs.Insert(xs[i])
 		inc.ys.Insert(ys[i])
@@ -157,6 +176,7 @@ func (inc *Incremental) Insert(id int, x, y float64) {
 		panic(fmt.Sprintf("mi: duplicate insert of id %d", id))
 	}
 	o := knn.Point{X: x, Y: y}
+	inc.ops.Inserts++
 	// With k or fewer pre-existing points, no cached kNN state is
 	// meaningful; commit and rebuild.
 	small := len(inc.state) <= inc.k
@@ -197,6 +217,7 @@ func (inc *Incremental) Remove(id int) bool {
 		return false
 	}
 	o := st.p
+	inc.ops.Removes++
 	valid := len(inc.state) > inc.k // pre-removal cached state is meaningful
 	inc.grid.Remove(id)
 	inc.xs.Remove(o.X)
@@ -254,6 +275,7 @@ func (inc *Incremental) refreshPoint(id int) {
 
 // computePoint fills st with a fresh k-NN search and marginal counts.
 func (inc *Incremental) computePoint(id int, st *pointState) {
+	inc.ops.Refreshes++
 	nn := inc.grid.KNearestInto(st.p, inc.k, id, inc.scratch)
 	inc.scratch = nn[:0]
 	var dx, dy, d float64

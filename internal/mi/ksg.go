@@ -43,9 +43,13 @@ func (b Backend) String() string {
 //	I = ψ(k) − 1/k − ⟨ψ(n_x) + ψ(n_y)⟩ + ψ(m).
 //
 // The zero value is not usable; construct with NewKSG.
+//
+// A KSG carries a work counter (Estimates) and is therefore not safe for
+// concurrent use; every searcher owns its own instance.
 type KSG struct {
-	k       int
-	backend Backend
+	k         int
+	backend   Backend
+	estimates int
 }
 
 // DefaultK is the nearest-neighbour count used when none is specified; k=4
@@ -114,8 +118,14 @@ func (e *KSG) Estimate(x, y []float64) (float64, error) {
 		sum += mathx.DigammaInt(nx) + mathx.DigammaInt(ny)
 	}
 	k := float64(e.k)
+	e.estimates++
 	return mathx.DigammaInt(e.k) - 1/k - sum/float64(m) + mathx.Digamma(float64(m)), nil
 }
+
+// Estimates returns the number of successful estimations this instance has
+// performed — the observability layer reports it as the scorer-level work
+// counter behind Stats.MIBatch.
+func (e *KSG) Estimates() int { return e.estimates }
 
 // marginalRadii returns the per-dimension projections (dx, dy) of the
 // k-nearest-neighbour set of q: the largest |Δx| and |Δy| among the

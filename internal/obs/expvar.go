@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"expvar"
+	"time"
+)
+
+// ExpvarSink is a Sink that publishes live totals through the standard
+// expvar registry, so any process serving http (e.g. tycos -pprof) exposes
+// them on /debug/vars. Under the published map:
+//
+//	events.<Kind>      — occurrences of each event kind
+//	counters.<name>    — counter totals
+//	phase.<p>.count    — completed runs of each phase
+//	phase.<p>.ns       — cumulative nanoseconds spent in each phase
+//
+// expvar.Map is internally synchronised, so the sink is concurrency-safe.
+type ExpvarSink struct {
+	m *expvar.Map
+}
+
+// NewExpvarSink publishes (or re-attaches to) the expvar map with the given
+// name. Re-using a name attaches to the existing map rather than panicking,
+// so repeated searches in one process accumulate into one map.
+func NewExpvarSink(name string) *ExpvarSink {
+	if v := expvar.Get(name); v != nil {
+		if m, ok := v.(*expvar.Map); ok {
+			return &ExpvarSink{m: m}
+		}
+	}
+	return &ExpvarSink{m: expvar.NewMap(name)}
+}
+
+// Event implements Sink.
+func (s *ExpvarSink) Event(e Event) { s.m.Add("events."+e.Kind(), 1) }
+
+// Count implements Sink.
+func (s *ExpvarSink) Count(name string, delta int64) { s.m.Add("counters."+name, delta) }
+
+// PhaseEnd implements Sink.
+func (s *ExpvarSink) PhaseEnd(p Phase, d time.Duration) {
+	s.m.Add("phase."+string(p)+".count", 1)
+	s.m.Add("phase."+string(p)+".ns", int64(d))
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is a Sink that aggregates in memory: event counts by kind, counter
+// totals by name, and per-phase duration distributions. Snapshot exposes the
+// aggregate; the sink itself never allocates per event beyond the phase
+// sample slices.
+type Metrics struct {
+	mu       sync.Mutex
+	events   map[string]int64
+	counters map[string]int64
+	phases   map[Phase][]time.Duration
+}
+
+// NewMetrics returns an empty aggregator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		events:   make(map[string]int64),
+		counters: make(map[string]int64),
+		phases:   make(map[Phase][]time.Duration),
+	}
+}
+
+// Event implements Sink.
+func (m *Metrics) Event(e Event) {
+	m.mu.Lock()
+	m.events[e.Kind()]++
+	m.mu.Unlock()
+}
+
+// Count implements Sink.
+func (m *Metrics) Count(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// PhaseEnd implements Sink.
+func (m *Metrics) PhaseEnd(p Phase, d time.Duration) {
+	m.mu.Lock()
+	m.phases[p] = append(m.phases[p], d)
+	m.mu.Unlock()
+}
+
+// EventCount returns the number of events of the given kind seen so far.
+func (m *Metrics) EventCount(kind string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events[kind]
+}
+
+// PhaseStats summarises the duration distribution of one phase. Quantiles
+// are nearest-rank over the recorded samples.
+type PhaseStats struct {
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot is a point-in-time copy of everything a Metrics has aggregated.
+type Snapshot struct {
+	// Events maps event kind → occurrences.
+	Events map[string]int64
+	// Counters maps counter name → total.
+	Counters map[string]int64
+	// Phases maps phase → duration distribution summary.
+	Phases map[Phase]PhaseStats
+}
+
+// Snapshot returns a consistent copy of the aggregate. The receiver keeps
+// aggregating; the snapshot is detached.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Events:   make(map[string]int64, len(m.events)),
+		Counters: make(map[string]int64, len(m.counters)),
+		Phases:   make(map[Phase]PhaseStats, len(m.phases)),
+	}
+	for k, v := range m.events {
+		s.Events[k] = v
+	}
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for p, samples := range m.phases {
+		s.Phases[p] = summarize(samples)
+	}
+	return s
+}
+
+// summarize computes the distribution summary of samples (len > 0 assumed
+// by construction: phases are only present once a sample arrived).
+func summarize(samples []time.Duration) PhaseStats {
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st := PhaseStats{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   quantile(sorted, 50),
+		P99:   quantile(sorted, 99),
+	}
+	for _, d := range sorted {
+		st.Total += d
+	}
+	return st
+}
+
+// quantile returns the nearest-rank p-th percentile of sorted samples:
+// the smallest sample with at least p% of the distribution at or below it.
+func quantile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100 // ceil(n·p/100)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,47 @@
+package obs
+
+import "time"
+
+// multi fans every observation out to each member sink, in order.
+type multi []Sink
+
+// Multi composes sinks into one. Nil members are dropped; composing zero
+// (remaining) sinks returns nil — the free no-op — and a single sink is
+// returned unwrapped.
+func Multi(sinks ...Sink) Sink {
+	out := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
+// Event implements Sink.
+func (m multi) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Count implements Sink.
+func (m multi) Count(name string, delta int64) {
+	for _, s := range m {
+		s.Count(name, delta)
+	}
+}
+
+// PhaseEnd implements Sink.
+func (m multi) PhaseEnd(p Phase, d time.Duration) {
+	for _, s := range m {
+		s.PhaseEnd(p, d)
+	}
+}

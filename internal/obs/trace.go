@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceWriter is a Sink that writes a JSONL event trace: one JSON object per
+// line, in emission order. The schema is
+//
+//	{"ts":"<RFC3339Nano UTC>","event":"<kind>","data":{...}}
+//
+// where <kind> is the Event.Kind() of the payload ("RestartStarted",
+// "ClimbFinished", …), "PhaseFinished" for phase timings with data
+// {"phase":"climb","duration_ns":123}, or — as the final line written by
+// Close — "Counters" with data {"<name>":<total>,...} holding every counter
+// accumulated over the trace's lifetime, keys sorted.
+//
+// Writes are buffered; call Close (or Flush) to drain them. The first write
+// or marshal error is sticky and returned by Flush/Close; later lines are
+// dropped rather than interleaved with a torn line.
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	counts map[string]int64
+	err    error
+	now    func() time.Time // test hook; defaults to time.Now
+}
+
+// NewTraceWriter returns a TraceWriter emitting to w. The caller keeps
+// ownership of w: Close flushes the trace but does not close w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{
+		bw:     bufio.NewWriter(w),
+		counts: make(map[string]int64),
+		now:    time.Now,
+	}
+}
+
+// traceLine is the on-disk shape of one trace line.
+type traceLine struct {
+	TS    string `json:"ts"`
+	Event string `json:"event"`
+	Data  any    `json:"data,omitempty"`
+}
+
+// Event implements Sink.
+func (t *TraceWriter) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write(e.Kind(), e)
+}
+
+// phaseData is the payload of a "PhaseFinished" line.
+type phaseData struct {
+	Phase      string `json:"phase"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// PhaseEnd implements Sink.
+func (t *TraceWriter) PhaseEnd(p Phase, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write("PhaseFinished", phaseData{Phase: string(p), DurationNS: int64(d)})
+}
+
+// Count implements Sink. Counter deltas are accumulated, not written per
+// call; Close emits the totals as the trace's final "Counters" line.
+func (t *TraceWriter) Count(name string, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counts[name] += delta
+}
+
+// write appends one line; the caller holds t.mu.
+func (t *TraceWriter) write(kind string, data any) {
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(traceLine{
+		TS:    t.now().UTC().Format(time.RFC3339Nano),
+		Event: kind,
+		Data:  data,
+	})
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Flush drains buffered lines to the underlying writer and returns the
+// sticky error, if any.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *TraceWriter) flushLocked() error {
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close writes the accumulated counter totals as a final "Counters" line
+// (keys sorted, omitted when no counter was touched), flushes, and returns
+// the sticky error. It does not close the underlying writer.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.counts) > 0 {
+		// json.Marshal sorts map keys, but an ordered copy keeps the line
+		// deterministic even if the totals are mutated concurrently.
+		names := make([]string, 0, len(t.counts))
+		for name := range t.counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ordered := make(map[string]int64, len(names))
+		for _, name := range names {
+			ordered[name] = t.counts[name]
+		}
+		t.write("Counters", ordered)
+		t.counts = make(map[string]int64)
+	}
+	return t.flushLocked()
+}

@@ -34,9 +34,12 @@ package tycos
 import (
 	"context"
 
+	"io"
+
 	"tycos/internal/checkpoint"
 	"tycos/internal/core"
 	"tycos/internal/mi"
+	"tycos/internal/obs"
 	"tycos/internal/series"
 	"tycos/internal/window"
 )
@@ -188,6 +191,92 @@ type SweepOptions = core.SweepOptions
 func SearchAllContext(ctx context.Context, ss []Series, opts Options, sw SweepOptions) []PairResult {
 	return core.SearchAllContext(ctx, ss, opts, sw)
 }
+
+// Observability
+//
+// A search reports its inner workings — restarts, climbs, accepted windows,
+// noise-theory pruning, per-phase wall-clock — through an Observer plugged
+// into Options.Observer. The default (nil) costs one pointer check per
+// emission site; sinks never alter search results. A sweep shares one
+// Observer across all workers, so custom implementations must be safe for
+// concurrent use (all sinks in this package are).
+
+// Observer receives search events, counters and phase timings; plug one into
+// Options.Observer. Implementations must not block: they run on the search
+// hot path.
+type Observer = obs.Sink
+
+// Timing is the wall-clock breakdown a search records in Stats.Timing. It is
+// not deterministic; zero it before bit-exact Stats comparisons.
+type Timing = core.Timing
+
+// Phase names one timed stage of a search.
+type Phase = obs.Phase
+
+// The four timed search phases.
+const (
+	// PhaseValidate covers option and input validation.
+	PhaseValidate = obs.PhaseValidate
+	// PhaseNullModel covers significance-null calibration (when enabled).
+	PhaseNullModel = obs.PhaseNullModel
+	// PhaseClimb covers the restart/climb loop — the bulk of a search.
+	PhaseClimb = obs.PhaseClimb
+	// PhaseFinalize covers overlap resolution and final scoring.
+	PhaseFinalize = obs.PhaseFinalize
+)
+
+// Event is the interface every observable search event implements; type-
+// switch an Observer.Event argument on the concrete event types below.
+type Event = obs.Event
+
+// The observable search events; type-switch on Observer.Event's argument.
+type (
+	// RestartStarted marks the beginning of one LAHC restart.
+	RestartStarted = obs.RestartStarted
+	// ClimbFinished reports a completed climb: its count equals
+	// Stats.Restarts.
+	ClimbFinished = obs.ClimbFinished
+	// CandidateAccepted reports one returned window: its count equals
+	// len(Result.Windows).
+	CandidateAccepted = obs.CandidateAccepted
+	// DirectionPruned reports a Section 6.2.2 direction pruning.
+	DirectionPruned = obs.DirectionPruned
+	// NoiseBlockSkipped reports a Section 6.2.1 initial-block rejection.
+	NoiseBlockSkipped = obs.NoiseBlockSkipped
+	// PairStarted marks one search attempt of a sweep pair.
+	PairStarted = obs.PairStarted
+	// PairFinished marks a sweep pair's resolution (searched, restored or
+	// failed) — the hook progress reporters key on.
+	PairFinished = obs.PairFinished
+)
+
+// TraceWriter streams every observation as one JSON line; see internal/obs
+// for the schema. Close writes a final counter summary. Safe for concurrent
+// use.
+type TraceWriter = obs.TraceWriter
+
+// NewTraceWriter returns a TraceWriter emitting JSONL to w. It buffers;
+// call Close (or Flush) to drain. It does not close w.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// Metrics aggregates observations in memory: event and counter totals plus
+// min/p50/p99/max per phase. Safe for concurrent use.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty Metrics aggregator.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// MetricsSnapshot is a detached copy of a Metrics aggregator's state.
+type MetricsSnapshot = obs.Snapshot
+
+// MultiObserver fans observations out to every non-nil sink; with none it
+// returns nil (the no-op default).
+func MultiObserver(sinks ...Observer) Observer { return obs.Multi(sinks...) }
+
+// NewExpvarObserver publishes live totals under the named expvar map —
+// visible at /debug/vars wherever an HTTP server mounts expvar (the
+// tycos CLI's -pprof flag does).
+func NewExpvarObserver(name string) Observer { return obs.NewExpvarSink(name) }
 
 // Checkpoint is a JSONL-backed journal of completed pair results; plug it
 // into SweepOptions.Checkpoint to make a multi-pair sweep survive kills and
