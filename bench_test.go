@@ -6,6 +6,7 @@ package tycos_test
 // `go run ./cmd/benchgen` (see EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"testing"
 
 	"tycos"
@@ -313,6 +314,33 @@ func BenchmarkNoiseTheoryAblation(b *testing.B) {
 			Variant:       v, Seed: 1,
 		}
 		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(comp.Pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestartWorkers measures in-pair parallel speedup: one large pair,
+// identical options, scaled over RestartWorkers. Results are byte-identical
+// across the axis (pinned by tests), so the curve isolates pure scheduling
+// gain.
+func BenchmarkRestartWorkers(b *testing.B) {
+	comp, err := synth.CorrelatedAR(12000, 8, 150, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := tycos.Options{
+			SMin: 10, SMax: 180, TDMax: 6, Sigma: 0.3,
+			Normalization:  mi.NormMaxEntropy,
+			Variant:        tycos.VariantLMN,
+			Seed:           1,
+			RestartWorkers: workers,
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := tycos.Search(comp.Pair, opts); err != nil {
 					b.Fatal(err)

@@ -80,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		maxEvals = fs.Int("maxevals", 0, "stop after this many window evaluations per pair (0 = none)")
 		parallel = fs.Int("parallel", 0, "sweep workers for -all (0 = GOMAXPROCS)")
+		restartW = fs.Int("restart-workers", 0, "concurrent LAHC restart workers within each pair (0 = GOMAXPROCS); results are identical for every value")
 		retries  = fs.Int("retries", 0, "extra attempts per failed pair in -all sweeps")
 		pairTO   = fs.Duration("pairtimeout", 0, "per-pair wall-clock budget in -all sweeps (0 = none)")
 		ckpt     = fs.String("checkpoint", "", "journal completed sweep pairs to this JSONL file and resume from it")
@@ -109,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Normalization:  tycos.NormMaxEntropy,
 		Seed:           *seed,
 		MaxEvaluations: *maxEvals,
+		RestartWorkers: *restartW,
 	}
 	switch strings.ToLower(*variant) {
 	case "l":

@@ -212,3 +212,31 @@ func TestPprofFlagServesEndpoints(t *testing.T) {
 		t.Errorf("pprof announcement missing:\n%s", stderr)
 	}
 }
+
+// TestRestartWorkersFlagDoesNotChangeOutput pins the CLI face of the
+// determinism guarantee: -restart-workers only changes how the search is
+// scheduled, never what it prints.
+func TestRestartWorkersFlagDoesNotChangeOutput(t *testing.T) {
+	in := writeCSV(t)
+	base := []string{"-in", in, "-x", "a", "-y", "b", "-smin", "10", "-smax", "60", "-tdmax", "5", "-sigma", "0.3", "-stats"}
+	code1, out1, err1 := runCLI(t, append([]string{"-restart-workers", "1"}, base...)...)
+	code4, out4, err4 := runCLI(t, append([]string{"-restart-workers", "4"}, base...)...)
+	if code1 != exitOK || code4 != exitOK {
+		t.Fatalf("exits %d/%d, want %d\nstderr1:\n%s\nstderr4:\n%s", code1, code4, exitOK, err1, err4)
+	}
+	// The phase breakdown is wall-clock and legitimately varies; everything
+	// else must match byte for byte.
+	dropTiming := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "phases: ") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	out1, out4 = dropTiming(out1), dropTiming(out4)
+	if out1 != out4 {
+		t.Errorf("-restart-workers changed the output:\nworkers=1:\n%s\nworkers=4:\n%s", out1, out4)
+	}
+}

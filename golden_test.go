@@ -1,0 +1,221 @@
+package tycos
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden regression fixtures: full search results for two small example
+// datasets, committed under testdata/golden. Any drift in the search output —
+// window bounds, delays, scores, work counters — fails with a line-per-field
+// diff. After an intentional behaviour change, regenerate with
+//
+//	go test -run TestGolden -update
+//
+// and review the fixture diff like any other code change.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from current output")
+
+// goldenWindow is one accepted window as persisted in a fixture.
+type goldenWindow struct {
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	Delay int     `json:"delay"`
+	MI    float64 `json:"mi"`
+}
+
+// goldenResult is the deterministic portion of a search outcome. Timing is
+// wall-clock and excluded by construction.
+type goldenResult struct {
+	Windows          []goldenWindow `json:"windows"`
+	WindowsEvaluated int            `json:"windows_evaluated"`
+	MIBatch          int            `json:"mi_batch"`
+	MIIncremental    int            `json:"mi_incremental"`
+	Restarts         int            `json:"restarts"`
+	PrunedDirections int            `json:"pruned_directions"`
+	NoiseBlocks      int            `json:"noise_blocks"`
+	StopReason       string         `json:"stop_reason"`
+}
+
+func toGolden(res Result) goldenResult {
+	g := goldenResult{
+		WindowsEvaluated: res.Stats.WindowsEvaluated,
+		MIBatch:          res.Stats.MIBatch,
+		MIIncremental:    res.Stats.MIIncremental,
+		Restarts:         res.Stats.Restarts,
+		PrunedDirections: res.Stats.PrunedDirections,
+		NoiseBlocks:      res.Stats.NoiseBlocks,
+		StopReason:       string(res.Stats.StopReason),
+	}
+	for _, w := range res.Windows {
+		g.Windows = append(g.Windows, goldenWindow{Start: w.Start, End: w.End, Delay: w.Delay, MI: w.MI})
+	}
+	return g
+}
+
+// diffGolden renders a readable field-by-field diff between the expected and
+// actual results; empty means equal. Window bounds and counters compare
+// exactly; MI compares to 1e-9 so the fixture stays robust to harmless
+// last-ulp formatting churn while still catching estimator regressions.
+func diffGolden(want, got goldenResult) string {
+	var b strings.Builder
+	line := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	if len(want.Windows) != len(got.Windows) {
+		line("window count: want %d, got %d", len(want.Windows), len(got.Windows))
+	}
+	n := len(want.Windows)
+	if len(got.Windows) < n {
+		n = len(got.Windows)
+	}
+	for i := 0; i < n; i++ {
+		w, g := want.Windows[i], got.Windows[i]
+		if w.Start != g.Start || w.End != g.End || w.Delay != g.Delay {
+			line("window %d bounds: want [%d,%d]τ%d, got [%d,%d]τ%d", i, w.Start, w.End, w.Delay, g.Start, g.End, g.Delay)
+		}
+		if math.Abs(w.MI-g.MI) > 1e-9 {
+			line("window %d MI: want %.12f, got %.12f (Δ %.3g)", i, w.MI, g.MI, math.Abs(w.MI-g.MI))
+		}
+	}
+	for i := n; i < len(want.Windows); i++ {
+		w := want.Windows[i]
+		line("window %d missing: want [%d,%d]τ%d MI %.6f", i, w.Start, w.End, w.Delay, w.MI)
+	}
+	for i := n; i < len(got.Windows); i++ {
+		g := got.Windows[i]
+		line("window %d unexpected: got [%d,%d]τ%d MI %.6f", i, g.Start, g.End, g.Delay, g.MI)
+	}
+	cmp := func(name string, w, g int) {
+		if w != g {
+			line("%s: want %d, got %d", name, w, g)
+		}
+	}
+	cmp("windows_evaluated", want.WindowsEvaluated, got.WindowsEvaluated)
+	cmp("mi_batch", want.MIBatch, got.MIBatch)
+	cmp("mi_incremental", want.MIIncremental, got.MIIncremental)
+	cmp("restarts", want.Restarts, got.Restarts)
+	cmp("pruned_directions", want.PrunedDirections, got.PrunedDirections)
+	cmp("noise_blocks", want.NoiseBlocks, got.NoiseBlocks)
+	if want.StopReason != got.StopReason {
+		line("stop_reason: want %q, got %q", want.StopReason, got.StopReason)
+	}
+	return b.String()
+}
+
+// goldenCase ties one example dataset + options to its fixture file.
+type goldenCase struct {
+	name    string
+	fixture string
+	search  func(t *testing.T) Result
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name:    "relations_small",
+			fixture: "testdata/golden/relations_small.json",
+			search: func(t *testing.T) Result {
+				pair, err := LoadPairCSV("examples/data/relations_small.csv", "x", "y")
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Search(pair, Options{
+					SMin: 20, SMax: 120, TDMax: 5,
+					Sigma:   0.25,
+					Variant: VariantLMN,
+					Seed:    1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+		{
+			name:    "energy_small",
+			fixture: "testdata/golden/energy_small.json",
+			search: func(t *testing.T) Result {
+				pair, err := LoadPairCSV("examples/data/energy_small.csv", "kitchen", "kitchen_light")
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Search(pair, Options{
+					SMin: 24, SMax: 144, TDMax: 6,
+					Sigma:   0.2,
+					Variant: VariantLMN,
+					Jitter:  0.01,
+					Seed:    1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+	}
+}
+
+func TestGoldenSearchResults(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got := toGolden(tc.search(t))
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(tc.fixture), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(tc.fixture, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d windows)", tc.fixture, len(got.Windows))
+				return
+			}
+			data, err := os.ReadFile(tc.fixture)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update to create): %v", err)
+			}
+			var want goldenResult
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", tc.fixture, err)
+			}
+			if diff := diffGolden(want, got); diff != "" {
+				t.Errorf("search output drifted from %s:\n%s", tc.fixture, diff)
+			}
+		})
+	}
+}
+
+// TestGoldenIndependentOfRestartWorkers replays the golden searches with an
+// elevated worker count and requires the same fixture to hold — the byte-
+// identity guarantee checked against real datasets rather than synthetic
+// pairs.
+func TestGoldenIndependentOfRestartWorkers(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures being rewritten")
+	}
+	pair, err := LoadPairCSV("examples/data/relations_small.csv", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{SMin: 20, SMax: 120, TDMax: 5, Sigma: 0.25, Variant: VariantLMN, Seed: 1}
+	res1, err := Search(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RestartWorkers = 8
+	res8, err := Search(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := diffGolden(toGolden(res1), toGolden(res8)); diff != "" {
+		t.Errorf("RestartWorkers=8 drifted from RestartWorkers=1 on relations_small:\n%s", diff)
+	}
+}

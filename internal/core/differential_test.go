@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tycos/internal/mi"
+	"tycos/internal/series"
+	"tycos/internal/window"
+)
+
+// Differential suite: the incremental scorer — IR/IMR update cascade, per-
+// delay estimator cache, range diffing, rebuild heuristics — must agree with
+// a from-scratch batch KSG recomputation to 1e-9 on every window of any move
+// sequence a climb can produce. Sequences are randomized but seeded; a
+// failing sequence is shrunk to the minimal failing suffix before reporting,
+// so a regression prints a small reproducible trace instead of 60 windows.
+
+const diffTolerance = 1e-9
+
+// moveKind labels the four LAHC move types the climb generates.
+type moveKind int
+
+const (
+	moveGrow moveKind = iota
+	moveShrink
+	moveShift
+	moveDelay
+	numMoveKinds
+)
+
+func (m moveKind) String() string {
+	return [...]string{"grow", "shrink", "shift", "delay-change"}[m]
+}
+
+// randomMove perturbs w with one feasible move of the given kind, or returns
+// false when no feasible perturbation of that kind exists.
+func randomMove(rng *rand.Rand, w window.Window, kind moveKind, cons window.Constraints) (window.Window, bool) {
+	amt := 1 + rng.Intn(4)
+	cands := make([]window.Window, 0, 4)
+	switch kind {
+	case moveGrow:
+		cands = append(cands,
+			window.Window{Start: w.Start - amt, End: w.End, Delay: w.Delay},
+			window.Window{Start: w.Start, End: w.End + amt, Delay: w.Delay})
+	case moveShrink:
+		cands = append(cands,
+			window.Window{Start: w.Start + amt, End: w.End, Delay: w.Delay},
+			window.Window{Start: w.Start, End: w.End - amt, Delay: w.Delay})
+	case moveShift:
+		cands = append(cands,
+			window.Window{Start: w.Start - amt, End: w.End - amt, Delay: w.Delay},
+			window.Window{Start: w.Start + amt, End: w.End + amt, Delay: w.Delay})
+	case moveDelay:
+		d := 1 + rng.Intn(2)
+		cands = append(cands,
+			window.Window{Start: w.Start, End: w.End, Delay: w.Delay - d},
+			window.Window{Start: w.Start, End: w.End, Delay: w.Delay + d})
+	}
+	// Try the candidates in random order; first feasible wins.
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	for _, c := range cands {
+		if c != w && cons.Feasible(c) {
+			return c, true
+		}
+	}
+	return w, false
+}
+
+// genMoveSequence builds a random feasible window trajectory of the given
+// length, mixing all four move kinds.
+func genMoveSequence(rng *rand.Rand, cons window.Constraints, length int) []window.Window {
+	start := rng.Intn(cons.N - cons.SMin)
+	w := window.Window{Start: start, End: start + cons.SMin - 1, Delay: 0}
+	if !cons.Feasible(w) {
+		w = window.Window{Start: 0, End: cons.SMin - 1, Delay: 0}
+	}
+	seq := []window.Window{w}
+	for len(seq) < length {
+		next, ok := randomMove(rng, w, moveKind(rng.Intn(int(numMoveKinds))), cons)
+		if !ok {
+			continue
+		}
+		w = next
+		seq = append(seq, w)
+	}
+	return seq
+}
+
+// batchReference computes the from-scratch KSG raw estimate for w — the
+// ground truth the incremental path must reproduce.
+func batchReference(t *testing.T, p series.Pair, k int, w window.Window) (float64, bool) {
+	t.Helper()
+	xs, ys, err := p.DelaySlice(w.Start, w.End, w.Delay)
+	if err != nil {
+		t.Fatalf("reference slice for %+v: %v", w, err)
+	}
+	raw, err := mi.NewKSG(k, mi.BackendKDTree).Estimate(xs, ys)
+	if err != nil {
+		return 0, false
+	}
+	return raw, true
+}
+
+// replaySequence plays the windows through a fresh incremental scorer and
+// returns the index of the first window whose raw MI diverges from the batch
+// reference beyond tolerance (-1 when none does).
+func replaySequence(t *testing.T, p series.Pair, opts Options, seq []window.Window) (failIdx int, got, want float64) {
+	t.Helper()
+	sc := newIncScorer(p, opts.K, opts.Normalization, opts.SMax)
+	for i, w := range seq {
+		raw, _, err := sc.both(w)
+		wantRaw, ok := batchReference(t, p, opts.K, w)
+		if err != nil {
+			if ok {
+				t.Fatalf("window %d (%+v): incremental errored (%v) where batch succeeded", i, w, err)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("window %d (%+v): batch errored where incremental succeeded", i, w)
+		}
+		if math.Abs(raw-wantRaw) > diffTolerance {
+			return i, raw, wantRaw
+		}
+	}
+	return -1, 0, 0
+}
+
+// shrinkSequence minimises a failing sequence: it drops windows from the
+// front as long as the shortened replay still fails, returning the minimal
+// failing suffix (the estimator state that provokes the divergence is built
+// by the retained prefix, so suffixes preserve failures far more often than
+// arbitrary subsequences).
+func shrinkSequence(t *testing.T, p series.Pair, opts Options, seq []window.Window, failIdx int) []window.Window {
+	t.Helper()
+	minimal := seq[:failIdx+1]
+	for from := 1; from <= failIdx; from++ {
+		cand := seq[from : failIdx+1]
+		if idx, _, _ := replaySequence(t, p, opts, cand); idx >= 0 {
+			minimal = cand[:idx+1]
+			failIdx = from + idx
+		}
+	}
+	return minimal
+}
+
+// TestIncrementalScorerMatchesBatchOnRandomTrajectories is the property test:
+// 1e-9 agreement between the incremental scorer and batch KSG recomputation
+// over seeded random grow/shrink/shift/delay-change sequences.
+func TestIncrementalScorerMatchesBatchOnRandomTrajectories(t *testing.T) {
+	p := testPair(7, 400, 120, 220, 2)
+	opts := Options{SMin: 10, SMax: 60, TDMax: 5, K: mi.DefaultK, Normalization: mi.NormMaxEntropy}
+	length := 60
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	cons := opts.constraints(p.Len())
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		seq := genMoveSequence(rng, cons, length)
+		failIdx, got, want := replaySequence(t, p, opts, seq)
+		if failIdx < 0 {
+			continue
+		}
+		minimal := shrinkSequence(t, p, opts, seq, failIdx)
+		t.Errorf("seed %d: incremental diverged from batch by %g (got %.12f, want %.12f)\nminimal failing sequence (%d windows):",
+			seed, math.Abs(got-want), got, want, len(minimal))
+		for i, w := range minimal {
+			t.Errorf("  %2d: %+v", i, w)
+		}
+		return // one shrunk counterexample is enough output
+	}
+}
+
+// TestIncrementalScorerMatchesBatchPerMoveKind isolates each move kind: long
+// single-kind runs stress the corresponding IR/IMR update paths (grow →
+// inserts, shrink → removes, shift → mixed, delay-change → cache/rebuild).
+func TestIncrementalScorerMatchesBatchPerMoveKind(t *testing.T) {
+	p := testPair(8, 400, 100, 200, 1)
+	opts := Options{SMin: 10, SMax: 60, TDMax: 5, K: mi.DefaultK, Normalization: mi.NormMaxEntropy}
+	cons := opts.constraints(p.Len())
+	for kind := moveKind(0); kind < numMoveKinds; kind++ {
+		rng := rand.New(rand.NewSource(int64(50 + kind)))
+		w := window.Window{Start: 150, End: 150 + opts.SMin - 1, Delay: 0}
+		seq := []window.Window{w}
+		for len(seq) < 40 {
+			next, ok := randomMove(rng, w, kind, cons)
+			if !ok {
+				// Single-kind walks hit constraint walls (e.g. pure grow
+				// reaches SMax); bounce with a shift to keep going.
+				next, ok = randomMove(rng, w, moveShift, cons)
+				if !ok {
+					break
+				}
+			}
+			w = next
+			seq = append(seq, w)
+		}
+		if failIdx, got, want := replaySequence(t, p, opts, seq); failIdx >= 0 {
+			t.Errorf("%v: window %d (%+v) diverged: got %.12f, want %.12f", kind, failIdx, seq[failIdx], got, want)
+		}
+	}
+}
+
+// TestIncrementalScorerNormalizedAgreement extends the property to the
+// normalized score — what the climb actually thresholds — across all three
+// normalizations.
+func TestIncrementalScorerNormalizedAgreement(t *testing.T) {
+	p := testPair(9, 300, 80, 160, 0)
+	for _, norm := range []mi.Normalization{mi.NormNone, mi.NormMaxEntropy, mi.NormJointHistogram} {
+		opts := Options{SMin: 10, SMax: 60, TDMax: 5, K: mi.DefaultK, Normalization: norm}
+		cons := opts.constraints(p.Len())
+		rng := rand.New(rand.NewSource(99))
+		seq := genMoveSequence(rng, cons, 40)
+		incSc := newIncScorer(p, opts.K, norm, opts.SMax)
+		batchSc := newBatchScorer(p, opts.K, norm)
+		for i, w := range seq {
+			gotNorm, err1 := incSc.score(w)
+			wantNorm, err2 := batchSc.score(w)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("norm %v window %d (%+v): error mismatch: inc=%v batch=%v", norm, i, w, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if math.Abs(gotNorm-wantNorm) > diffTolerance {
+				t.Errorf("norm %v window %d (%+v): normalized score diverged: got %.12f, want %.12f", norm, i, w, gotNorm, wantNorm)
+			}
+		}
+	}
+}

@@ -108,6 +108,17 @@ func SearchAllContext(ctx context.Context, ss []series.Series, opts Options, sw 
 	if parallelism > len(jobs) {
 		parallelism = len(jobs)
 	}
+	if opts.RestartWorkers <= 0 {
+		// Divide the cores between pair-level and restart-level parallelism
+		// instead of letting every pair worker spawn GOMAXPROCS restart
+		// workers of its own. Purely a scheduling decision: restart
+		// decomposition is schedule-independent, so results are unchanged.
+		rw := runtime.GOMAXPROCS(0) / parallelism
+		if rw < 1 {
+			rw = 1
+		}
+		opts.RestartWorkers = rw
+	}
 	out := make([]PairResult, len(jobs))
 	var wg sync.WaitGroup
 	ch := make(chan job)

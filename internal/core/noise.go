@@ -73,18 +73,14 @@ func (s *searcher) prunedDirections(w window.Window) map[direction]bool {
 		s.noiseVerdict(w, rawW, fwd, true) {
 		pruned[dirEndForward] = true
 		s.stats.PrunedDirections++
-		if s.obs != nil {
-			s.obs.Event(obs.DirectionPruned{Pair: s.pairName, Window: obsWindow(w), Direction: "end-forward"})
-		}
+		s.emit(obs.DirectionPruned{Pair: s.pairName, Window: obsWindow(w), Direction: "end-forward"})
 	}
 	back := window.Window{Start: w.Start - p, End: w.Start - 1, Delay: w.Delay}
 	if s.cons.Feasible(window.Window{Start: w.Start - p, End: w.End, Delay: w.Delay}) &&
 		s.noiseVerdict(w, rawW, back, false) {
 		pruned[dirStartBackward] = true
 		s.stats.PrunedDirections++
-		if s.obs != nil {
-			s.obs.Event(obs.DirectionPruned{Pair: s.pairName, Window: obsWindow(w), Direction: "start-backward"})
-		}
+		s.emit(obs.DirectionPruned{Pair: s.pairName, Window: obsWindow(w), Direction: "start-backward"})
 	}
 	return pruned
 }
@@ -151,9 +147,7 @@ func (s *searcher) initialNoisePruning(from int) (window.Window, bool) {
 			// poisoned accumulation and restart from next (Fig. 7, steps
 			// 3.3–4).
 			s.stats.NoiseBlocks++
-			if s.obs != nil {
-				s.obs.Event(obs.NoiseBlockSkipped{Pair: s.pairName, Block: obsWindow(next)})
-			}
+			s.emit(obs.NoiseBlockSkipped{Pair: s.pairName, Block: obsWindow(next)})
 			cur, curRaw, curNorm = next, nextRaw, nextNorm
 			continue
 		}

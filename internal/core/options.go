@@ -113,6 +113,15 @@ type Options struct {
 	SignificanceLevel float64
 	// Seed drives all randomness; equal seeds give identical searches.
 	Seed int64
+	// RestartWorkers bounds the concurrency of the restart/climb loop inside
+	// this one search: the scan positions are decomposed into fixed restart
+	// segments fanned over this many workers, each owning its own scorer and
+	// estimator caches (≤0 → GOMAXPROCS). Results are schedule-independent:
+	// RestartWorkers: 1 and RestartWorkers: N return byte-identical windows,
+	// stats and event streams for the same seed. A positive MaxEvaluations
+	// forces sequential execution regardless of this value — a deterministic
+	// budget stop is only well-defined when evaluations accrue in one order.
+	RestartWorkers int
 	// Observer, when non-nil, receives the search's typed events
 	// (restarts, climbs, accepted candidates, noise prunes), phase timings
 	// and end-of-search counter totals — see internal/obs for the event

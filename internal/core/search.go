@@ -14,20 +14,34 @@ import (
 	"tycos/internal/window"
 )
 
-// searcher carries the state of one Search invocation.
+// searcher carries the worker-local state of one restart segment's scan:
+// chained LAHC restarts over the segment's scan positions with a private
+// scorer, private stats, private candidate list and a private event buffer,
+// so segments can run on concurrent workers without any shared mutable state
+// (see parallel.go for the decomposition and its determinism rules).
 type searcher struct {
 	pair   series.Pair
 	opts   Options
 	cons   window.Constraints
 	scorer scorer
-	rng    *rand.Rand
+	null   *nullModel
+	rng    *rand.Rand // current restart's acceptor RNG, re-seeded per restart
 	stats  Stats
 	ctx    context.Context
 	stop   StopReason // first triggered stop condition ("" while running)
+	seg    segment
 
-	obs       obs.Sink // Options.Observer; nil disables all emission
-	pairName  string   // "x/y" event label, "" for unnamed series
-	clockTick int      // deadline clock sampling counter (checkStop)
+	// evalBase is the evaluation count charged by earlier segments; the
+	// deterministic MaxEvaluations budget compares against evalBase plus this
+	// segment's own count (sequential execution only — parallel runs never
+	// carry a budget, see restartWorkers).
+	evalBase int
+
+	observing bool        // Options.Observer != nil: buffer events for replay
+	events    []obs.Event // worker-local buffer, replayed in merge order
+	cands     []window.Scored
+	pairName  string // "x/y" event label, "" for unnamed series
+	clockTick int    // deadline clock sampling counter (checkStop)
 }
 
 // obsWindow converts a search window into its observability mirror.
@@ -43,6 +57,15 @@ func pairLabel(p series.Pair) string {
 	return p.X.Name + "/" + p.Y.Name
 }
 
+// emit buffers an event for ordered replay by the coordinator. Workers never
+// touch Options.Observer directly: replaying buffered events in segment order
+// keeps the trace identical for every RestartWorkers value.
+func (s *searcher) emit(e obs.Event) {
+	if s.observing {
+		s.events = append(s.events, e)
+	}
+}
+
 // Search runs TYCOS over the pair with the configured variant and returns
 // the accepted non-overlapping windows, scored with the configured
 // normalization, sorted by start index.
@@ -51,7 +74,9 @@ func pairLabel(p series.Pair) string {
 // climbs from an initial window, exploring δ-neighbourhoods that widen while
 // no improvement is found; when T_maxIdle explorations in a row fail to
 // improve, the local optimum is recorded and the search restarts on the
-// unscanned remainder until the pair is covered.
+// unscanned remainder until the pair is covered. Restarts are decomposed
+// into fixed segments fanned over Options.RestartWorkers workers; results
+// are byte-identical for every worker count (see parallel.go).
 func Search(p series.Pair, opts Options) (Result, error) {
 	return SearchContext(context.Background(), p, opts)
 }
@@ -61,7 +86,8 @@ func Search(p series.Pair, opts Options) (Result, error) {
 // exceeded Options budget) the search returns the windows accepted so far
 // with Result.Partial set and Stats.StopReason recording the cause, rather
 // than an error — partial results from a cancelled search remain valid,
-// prefix-consistent output.
+// prefix-consistent output (work done by restart workers past the first
+// stopped segment is discarded to keep it so).
 func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
@@ -72,104 +98,102 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 		return Result{}, errors.New("core: " + err.Error() + " (clean the input with series.FillMissing)")
 	}
 	p = jitterPair(p, opts.Jitter, opts.Seed)
-	s := &searcher{
-		pair:     p,
-		opts:     opts,
-		cons:     opts.constraints(p.Len()),
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		ctx:      ctx,
-		obs:      opts.Observer,
-		pairName: pairLabel(p),
-	}
-	s.stats.Timing.Validate = time.Since(start)
-	if s.obs != nil {
-		s.obs.PhaseEnd(obs.PhaseValidate, s.stats.Timing.Validate)
+	sink := opts.Observer
+	pairName := pairLabel(p)
+	var timing Timing
+	timing.Validate = time.Since(start)
+	if sink != nil {
+		sink.PhaseEnd(obs.PhaseValidate, timing.Validate)
 	}
 	var null *nullModel
 	if opts.SignificanceLevel > 0 {
-		// A dedicated RNG keeps the calibration from perturbing the walk.
+		// A dedicated RNG keeps the calibration from perturbing the walk; the
+		// model is built once, before the fan-out, and is read-only shared
+		// state from then on.
 		nmStart := time.Now()
 		null = buildNullModel(p, opts, rand.New(rand.NewSource(opts.Seed+0x5eed)))
-		s.stats.Timing.NullModel = time.Since(nmStart)
-		if s.obs != nil {
-			s.obs.PhaseEnd(obs.PhaseNullModel, s.stats.Timing.NullModel)
+		timing.NullModel = time.Since(nmStart)
+		if sink != nil {
+			sink.PhaseEnd(obs.PhaseNullModel, timing.NullModel)
 		}
 	}
-	if opts.Variant.incremental() {
-		sc := newIncScorer(p, opts.K, opts.Normalization, opts.SMax)
-		sc.null = null
-		s.scorer = sc
-	} else {
-		sc := newBatchScorer(p, opts.K, opts.Normalization)
-		sc.null = null
-		s.scorer = sc
-	}
 
-	var candidates []window.Scored
-	var topk *mi.TopK
+	cons := opts.constraints(p.Len())
+	segs := planSegments(p.Len(), opts)
+	workers := restartWorkers(opts, len(segs))
 
 	climbStart := time.Now()
-	scanFrom := 0
-	n := p.Len()
-	for scanFrom+opts.SMin <= n {
-		if s.checkStop() {
-			break
-		}
-		if s.obs != nil {
-			s.obs.Event(obs.RestartStarted{Pair: s.pairName, Restart: s.stats.Restarts, ScanFrom: scanFrom})
-		}
-		evalsBefore := s.stats.WindowsEvaluated
-		w0, ok := s.initialWindow(scanFrom)
-		if !ok {
-			break
-		}
-		best, bestScore, iters, completed := s.climb(w0)
-		if !completed {
-			// The interrupted climb's best-so-far may differ from what the
-			// full climb would have settled on; dropping it keeps partial
-			// results a prefix of the uninterrupted run.
-			break
-		}
-		if null != nil {
-			// The reported and thresholded score is the significance-
-			// corrected one; the climb's internal score is uncorrected.
-			if corrected, err := s.scorer.finalScore(best); err == nil {
-				bestScore = corrected
+	var segResults []segmentResult
+	if workers <= 1 {
+		segResults = runSegmentsSequential(ctx, p, opts, cons, null, pairName, segs)
+	} else {
+		segResults = runSegmentsParallel(ctx, p, opts, cons, null, pairName, segs, workers)
+	}
+
+	// Merge in segment order — never completion order. Everything after the
+	// first stopped segment is discarded: in sequential mode those segments
+	// never ran, and reconstructing exactly that prefix here is what keeps
+	// partial results deterministic and mode-independent.
+	var (
+		stats        Stats
+		candidates   []window.Scored
+		stop         StopReason
+		counterNames []string
+		counterVals  map[string]int64
+	)
+	restartOffset := 0
+	for _, sr := range segResults {
+		if sink != nil {
+			for _, e := range sr.events {
+				// Restart indices are worker-local; renumber into the global
+				// merge order so traces read like one sequential search.
+				switch ev := e.(type) {
+				case obs.RestartStarted:
+					ev.Restart += restartOffset
+					sink.Event(ev)
+				case obs.ClimbFinished:
+					ev.Restart += restartOffset
+					sink.Event(ev)
+				default:
+					sink.Event(e)
+				}
 			}
 		}
-		if s.obs != nil {
-			s.obs.Event(obs.ClimbFinished{
-				Pair:        s.pairName,
-				Restart:     s.stats.Restarts,
-				Window:      obsWindow(best),
-				Score:       bestScore,
-				Iterations:  iters,
-				Evaluations: s.stats.WindowsEvaluated - evalsBefore,
-			})
+		candidates = append(candidates, sr.cands...)
+		addStats(&stats, sr.stats)
+		restartOffset += sr.stats.Restarts
+		for _, c := range sr.counters {
+			if counterVals == nil {
+				counterVals = make(map[string]int64)
+			}
+			if _, seen := counterVals[c.name]; !seen {
+				counterNames = append(counterNames, c.name)
+			}
+			counterVals[c.name] += c.value
 		}
-		if topk == nil && opts.TopK > 0 {
-			topk = mi.NewTopK(opts.TopK, bestScore)
+		if sr.stop != "" {
+			stop = sr.stop
+			break
 		}
-		candidates = append(candidates, window.Scored{Window: best, MI: bestScore})
-		if opts.onCandidate != nil {
-			opts.onCandidate(window.Scored{Window: best, MI: bestScore})
-		}
-		if topk != nil {
-			topk.Offer(bestScore)
-		}
-		s.stats.Restarts++
-		next := best.End + 1
-		if min := scanFrom + opts.SMin; next < min {
-			next = min
-		}
-		scanFrom = next
 	}
-	s.stats.Timing.Climb = time.Since(climbStart)
-	if s.obs != nil {
-		s.obs.PhaseEnd(obs.PhaseClimb, s.stats.Timing.Climb)
+	timing.Climb = time.Since(climbStart)
+	if sink != nil {
+		sink.PhaseEnd(obs.PhaseClimb, timing.Climb)
 	}
 
 	finStart := time.Now()
+	var topk *mi.TopK
+	for _, c := range candidates {
+		if opts.onCandidate != nil {
+			opts.onCandidate(c)
+		}
+		if topk == nil && opts.TopK > 0 {
+			topk = mi.NewTopK(opts.TopK, c.MI)
+		}
+		if topk != nil {
+			topk.Offer(c.MI)
+		}
+	}
 	threshold := opts.Sigma
 	if topk != nil {
 		threshold = topk.Threshold()
@@ -186,42 +210,94 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 		items = items[:opts.TopK]
 		sort.Slice(items, func(i, j int) bool { return items[i].Start < items[j].Start })
 	}
-	s.stats.MIBatch, s.stats.MIIncremental = s.scorer.stats()
-	if s.stop == "" {
-		s.stop = StopCompleted
+	if stop == "" {
+		stop = StopCompleted
 	}
-	s.stats.StopReason = s.stop
-	s.stats.Timing.Finalize = time.Since(finStart)
-	s.stats.Timing.Total = time.Since(start)
-	if secs := s.stats.Timing.Total.Seconds(); secs > 0 {
-		s.stats.Timing.EvalsPerSec = float64(s.stats.WindowsEvaluated) / secs
+	stats.StopReason = stop
+	timing.Finalize = time.Since(finStart)
+	timing.Total = time.Since(start)
+	if secs := timing.Total.Seconds(); secs > 0 {
+		timing.EvalsPerSec = float64(stats.WindowsEvaluated) / secs
 	}
-	if s.obs != nil {
-		s.obs.PhaseEnd(obs.PhaseFinalize, s.stats.Timing.Finalize)
+	stats.Timing = timing
+	if sink != nil {
+		sink.PhaseEnd(obs.PhaseFinalize, timing.Finalize)
 		// One CandidateAccepted per returned window, in output order.
 		for _, it := range items {
-			s.obs.Event(obs.CandidateAccepted{Pair: s.pairName, Window: obsWindow(it.Window), Score: it.MI})
+			sink.Event(obs.CandidateAccepted{Pair: pairName, Window: obsWindow(it.Window), Score: it.MI})
 		}
-		s.emitCounters()
+		emitCounters(sink, opts, stats, counterNames, counterVals)
 	}
-	return Result{Windows: items, Stats: s.stats, Partial: s.stop != StopCompleted}, nil
+	return Result{Windows: items, Stats: stats, Partial: stop != StopCompleted}, nil
 }
 
 // emitCounters publishes the search's final counter totals to the observer.
 // Totals are emitted once per search rather than per increment, so counters
-// never touch the climb's hot path.
-func (s *searcher) emitCounters() {
-	s.obs.Count("windows_evaluated", int64(s.stats.WindowsEvaluated))
-	s.obs.Count("restarts", int64(s.stats.Restarts))
-	s.obs.Count("mi_batch", int64(s.stats.MIBatch))
-	s.obs.Count("mi_incremental", int64(s.stats.MIIncremental))
-	if s.opts.Variant.noise() {
-		s.obs.Count("pruned_directions", int64(s.stats.PrunedDirections))
-		s.obs.Count("noise_blocks", int64(s.stats.NoiseBlocks))
+// never touch the climb's hot path; scorer-level counters arrive pre-merged
+// across segments in first-seen order.
+func emitCounters(sink obs.Sink, opts Options, stats Stats, names []string, vals map[string]int64) {
+	sink.Count("windows_evaluated", int64(stats.WindowsEvaluated))
+	sink.Count("restarts", int64(stats.Restarts))
+	sink.Count("mi_batch", int64(stats.MIBatch))
+	sink.Count("mi_incremental", int64(stats.MIIncremental))
+	if opts.Variant.noise() {
+		sink.Count("pruned_directions", int64(stats.PrunedDirections))
+		sink.Count("noise_blocks", int64(stats.NoiseBlocks))
 	}
-	for _, c := range s.scorer.counters() {
-		s.obs.Count(c.name, c.value)
+	for _, name := range names {
+		sink.Count(name, vals[name])
 	}
+}
+
+// run executes the segment's chained restart loop: climb, record the local
+// optimum, restart on the unscanned remainder, until the segment's scan
+// positions are exhausted or a stop condition fires. Restart indices in
+// buffered events are segment-local; the coordinator renumbers them.
+func (s *searcher) run() {
+	scanFrom := s.seg.from
+	for scanFrom < s.seg.limit {
+		if s.checkStop() {
+			break
+		}
+		restart := s.stats.Restarts
+		s.rng = rand.New(rand.NewSource(restartSeed(s.opts.Seed, s.seg.index, restart)))
+		s.emit(obs.RestartStarted{Pair: s.pairName, Restart: restart, ScanFrom: scanFrom})
+		evalsBefore := s.stats.WindowsEvaluated
+		w0, ok := s.initialWindow(scanFrom)
+		if !ok {
+			break
+		}
+		best, bestScore, iters, completed := s.climb(w0)
+		if !completed {
+			// The interrupted climb's best-so-far may differ from what the
+			// full climb would have settled on; dropping it keeps partial
+			// results a prefix of the uninterrupted run.
+			break
+		}
+		if s.null != nil {
+			// The reported and thresholded score is the significance-
+			// corrected one; the climb's internal score is uncorrected.
+			if corrected, err := s.scorer.finalScore(best); err == nil {
+				bestScore = corrected
+			}
+		}
+		s.emit(obs.ClimbFinished{
+			Pair:        s.pairName,
+			Restart:     restart,
+			Window:      obsWindow(best),
+			Score:       bestScore,
+			Iterations:  iters,
+			Evaluations: s.stats.WindowsEvaluated - evalsBefore,
+		})
+		s.cands = append(s.cands, window.Scored{Window: best, MI: bestScore})
+		s.stats.Restarts++
+		next := best.End + 1
+		if min := scanFrom + s.opts.SMin; next < min {
+			next = min
+		}
+		scanFrom = next
+	}
+	s.stats.MIBatch, s.stats.MIIncremental = s.scorer.stats()
 }
 
 // deadlineCheckPeriod is how many checkStop calls pass between samples of
@@ -237,16 +313,19 @@ const deadlineCheckPeriod = 32
 // that keeps the stop point, and hence the returned windows, deterministic
 // for the deterministic budgets. The evaluation budget is checked before the
 // context so that a run configured with both stops identically whether or
-// not the context also fired. The Options.Deadline clock is only sampled
-// every deadlineCheckPeriod calls (the first call included, so an already
-// expired deadline stops the search before any work): wall-clock stops are
-// inherently non-deterministic, so coarser sampling costs nothing, while the
-// deterministic MaxEvaluations budget above is still checked every call.
+// not the context also fired; it counts evalBase (earlier segments' work) on
+// top of this segment's own, which is only meaningful because a budgeted
+// search runs its segments sequentially. The Options.Deadline clock is only
+// sampled every deadlineCheckPeriod calls (the first call included, so an
+// already expired deadline stops the search before any work): wall-clock
+// stops are inherently non-deterministic, so coarser sampling costs nothing,
+// while the deterministic MaxEvaluations budget above is still checked every
+// call.
 func (s *searcher) checkStop() bool {
 	if s.stop != "" {
 		return true
 	}
-	if s.opts.MaxEvaluations > 0 && s.stats.WindowsEvaluated >= s.opts.MaxEvaluations {
+	if s.opts.MaxEvaluations > 0 && s.evalBase+s.stats.WindowsEvaluated >= s.opts.MaxEvaluations {
 		s.stop = StopBudget
 		return true
 	}

@@ -26,7 +26,13 @@ func WriteCSV(w io.Writer, cols ...Series) error {
 	for i, c := range cols {
 		header[i] = c.Name
 	}
-	if err := cw.Write(header); err != nil {
+	if len(header) == 1 && header[0] == "" {
+		// Written through csv.Writer a lone empty name becomes a blank line,
+		// which readers skip — the explicitly quoted form survives.
+		if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+			return err
+		}
+	} else if err := cw.Write(header); err != nil {
 		return err
 	}
 	row := make([]string, len(cols))
@@ -38,6 +44,11 @@ func WriteCSV(w io.Writer, cols ...Series) error {
 			} else {
 				row[j] = strconv.FormatFloat(v, 'g', -1, 64)
 			}
+		}
+		if len(row) == 1 && row[0] == "" {
+			// encoding/csv serializes a lone empty field as a blank line,
+			// which readers then skip — the row would vanish on re-read.
+			row[0] = "NaN"
 		}
 		if err := cw.Write(row); err != nil {
 			return err

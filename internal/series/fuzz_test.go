@@ -1,0 +1,109 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV loader. The contract under
+// fuzzing: never panic, and on success return structurally sound columns
+// (header-matched count, equal lengths) that survive a write/read round trip.
+// Run locally with:
+//
+//	go test ./internal/series -fuzz FuzzReadCSV -fuzztime 30s
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x,y\n1,2\n3,4\n")
+	f.Add("x,y\n1,\n,4\n")          // missing cells → NaN
+	f.Add("a\n1\n2\n3\n")           // single column
+	f.Add("x,y\n1,2\n3\n")          // ragged row → error
+	f.Add("")                       // empty input → error
+	f.Add("x,y\n")                  // header only
+	f.Add("x,x\n1,2\n")             // duplicate names
+	f.Add("\"a,b\",c\n1,2\n")       // quoted header with comma
+	f.Add("x,y\nnot,numeric\n")     // unparsable cells → NaN
+	f.Add("x,y\n1e308,-1e308\n")    // extreme magnitudes
+	f.Add("x,y\nInf,-Inf\n")        // infinities
+	f.Add("x,y\r\n1,2\r\n")         // CRLF line endings
+	f.Add("x,y\n1,2\n\n3,4\n")      // blank line
+	f.Add("x;y\n1;2\n")             // wrong separator → one column
+	f.Add(strings.Repeat("a,", 50)) // wide header, no rows
+	f.Fuzz(func(t *testing.T, data string) {
+		cols, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(cols) == 0 {
+			t.Fatal("nil error with zero columns")
+		}
+		n := cols[0].Len()
+		for i, c := range cols {
+			if c.Len() != n {
+				t.Fatalf("column %d length %d != column 0 length %d", i, c.Len(), n)
+			}
+		}
+		// Round trip: anything the reader accepts, the writer must be able to
+		// persist and the reader re-parse to the same values (NaN ↔ empty
+		// cell included).
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, cols...); err != nil {
+			t.Fatalf("WriteCSV rejected ReadCSV output: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again) != len(cols) {
+			t.Fatalf("round trip changed column count: %d → %d", len(cols), len(again))
+		}
+		for i := range cols {
+			if again[i].Len() != cols[i].Len() {
+				t.Fatalf("round trip changed column %d length: %d → %d", i, cols[i].Len(), again[i].Len())
+			}
+			for j, v := range cols[i].Values {
+				got := again[i].Values[j]
+				if math.IsNaN(v) && math.IsNaN(got) {
+					continue
+				}
+				if v != got {
+					t.Fatalf("round trip changed value [%d][%d]: %v → %v", i, j, v, got)
+				}
+			}
+		}
+	})
+}
+
+// FuzzFillMissing checks the NaN interpolation used on every loaded column:
+// never panic, never change length, and never leave a NaN when at least one
+// finite sample exists.
+func FuzzFillMissing(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Decode bytes into a value sequence with NaN markers: 0xFF → NaN.
+		vals := make([]float64, len(raw))
+		hasFinite := false
+		for i, b := range raw {
+			if b == 0xFF {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = float64(b) - 128
+				hasFinite = true
+			}
+		}
+		out := FillMissing(vals)
+		if len(out) != len(vals) {
+			t.Fatalf("length changed: %d → %d", len(vals), len(out))
+		}
+		if !hasFinite {
+			return
+		}
+		for i, v := range out {
+			if math.IsNaN(v) {
+				t.Fatalf("NaN left at %d despite finite samples", i)
+			}
+		}
+	})
+}

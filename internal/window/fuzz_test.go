@@ -1,0 +1,79 @@
+package window
+
+import "testing"
+
+// FuzzConstraintsFeasible throws arbitrary constraint/window combinations at
+// the feasibility predicates. The contract under fuzzing: never panic, and
+// whenever consistent constraints accept a window, that window actually fits
+// inside the series with its delayed interval in range.
+// Run locally with:
+//
+//	go test ./internal/window -fuzz FuzzConstraintsFeasible -fuzztime 30s
+func FuzzConstraintsFeasible(f *testing.F) {
+	f.Add(100, 10, 60, 5, 0, 9, 0)
+	f.Add(100, 10, 60, 5, 50, 109, 3)                   // end past series
+	f.Add(100, 2, 2, 0, 0, 1, 0)                        // minimal everything
+	f.Add(0, 0, 0, 0, 0, 0, 0)                          // all-zero
+	f.Add(-5, -2, -1, -3, -4, -4, -2)                   // negatives everywhere
+	f.Add(100, 10, 60, 5, 3, 12, -5)                    // delayed interval underflows
+	f.Add(1<<30, 2, 1<<29, 1<<20, 5, 1<<28, -(1 << 19)) // huge values
+	f.Fuzz(func(t *testing.T, n, smin, smax, tdmax, start, end, delay int) {
+		c := Constraints{N: n, SMin: smin, SMax: smax, TDMax: tdmax}
+		w := Window{Start: start, End: end, Delay: delay}
+		valid := c.Validate() == nil
+		feasible := c.Feasible(w)
+		if !valid || !feasible {
+			return
+		}
+		if s := w.Size(); s < c.SMin || s > c.SMax {
+			t.Fatalf("feasible window %v has size %d outside [%d, %d]", w, s, c.SMin, c.SMax)
+		}
+		if w.Start < 0 || w.End >= c.N {
+			t.Fatalf("feasible window %v outside series [0, %d)", w, c.N)
+		}
+		if ys, ye := w.Start+w.Delay, w.End+w.Delay; ys < 0 || ye >= c.N {
+			t.Fatalf("feasible window %v has delayed interval [%d, %d] outside [0, %d)", w, ys, ye, c.N)
+		}
+		if w.Delay > c.TDMax || w.Delay < -c.TDMax {
+			t.Fatalf("feasible window %v exceeds |τ| ≤ %d", w, c.TDMax)
+		}
+		// Exact and approximate search-space counts must not panic and the
+		// exact count must be positive when a feasible window exists. The
+		// enumeration is O(N·SMax), so bound it to keep iterations fast.
+		if c.N <= 2048 {
+			if got := c.SearchSpaceSize(); got < 1 {
+				t.Fatalf("SearchSpaceSize() = %d with feasible window %v", got, w)
+			}
+		}
+	})
+}
+
+// FuzzWindowConcat checks Definition 6.3 concatenation on arbitrary window
+// pairs: never panic, succeed exactly on consecutive same-delay windows, and
+// produce a window covering both parts.
+func FuzzWindowConcat(f *testing.F) {
+	f.Add(0, 9, 0, 10, 19, 0)
+	f.Add(0, 9, 2, 10, 19, 2)
+	f.Add(0, 9, 0, 11, 19, 0) // gap
+	f.Add(0, 9, 0, 10, 19, 1) // delay mismatch
+	f.Add(5, 3, 0, 4, 8, 0)   // inverted bounds
+	f.Add(-10, -1, -3, 0, 5, -3)
+	f.Fuzz(func(t *testing.T, s1, e1, d1, s2, e2, d2 int) {
+		a := Window{Start: s1, End: e1, Delay: d1}
+		b := Window{Start: s2, End: e2, Delay: d2}
+		joined, err := a.Concat(b)
+		consecutive := a.Consecutive(b)
+		if (err == nil) != consecutive {
+			t.Fatalf("Concat(%v, %v) error=%v but Consecutive=%v", a, b, err, consecutive)
+		}
+		if err != nil {
+			return
+		}
+		if joined.Start != a.Start || joined.End != b.End || joined.Delay != a.Delay {
+			t.Fatalf("Concat(%v, %v) = %v, want [%d, %d] τ=%d", a, b, joined, a.Start, b.End, a.Delay)
+		}
+		if a.Valid() && b.Valid() && joined.Size() != a.Size()+b.Size() {
+			t.Fatalf("Concat(%v, %v) size %d != %d + %d", a, b, joined.Size(), a.Size(), b.Size())
+		}
+	})
+}

@@ -120,7 +120,9 @@ func LoadAllCSV(path string) ([]Series, error) {
 }
 
 // Search runs TYCOS over the pair and returns the accepted non-overlapping
-// time-delay windows sorted by start index.
+// time-delay windows sorted by start index. The restart/climb loop runs on
+// Options.RestartWorkers concurrent workers (≤0 selects GOMAXPROCS);
+// results are byte-identical for every worker count and the same seed.
 func Search(p Pair, opts Options) (Result, error) { return core.Search(p, opts) }
 
 // SearchContext is Search with cooperative cancellation: cancelling ctx (or
@@ -173,8 +175,10 @@ type PairResult = core.PairResult
 
 // SearchAll runs TYCOS over every pair of distinct series concurrently —
 // the paper's cross-domain workflow over a whole collection of sensors.
-// parallelism ≤ 0 uses GOMAXPROCS. Results are deterministic for a fixed
-// seed regardless of scheduling and are ordered by input position.
+// parallelism ≤ 0 uses GOMAXPROCS; when Options.RestartWorkers is also ≤ 0
+// the cores are divided between pair-level and in-pair restart workers.
+// Results are deterministic for a fixed seed regardless of scheduling and
+// are ordered by input position.
 func SearchAll(ss []Series, opts Options, parallelism int) []PairResult {
 	return core.SearchAll(ss, opts, parallelism)
 }
