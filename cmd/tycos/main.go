@@ -186,6 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// DefaultServeMux carries net/http/pprof (imported above) and expvar
 		// (imported by the observability layer), so one server exposes both
 		// /debug/pprof/ and the live /debug/vars counters.
+		//lint:allow gopanic net/http recovers per-connection handler panics itself; Serve only returns when the deferred ln.Close fires
 		go http.Serve(ln, nil)
 		fmt.Fprintf(stderr, "tycos: profiling on http://%s/debug/pprof/ (counters on /debug/vars)\n", ln.Addr())
 		observers = append(observers, tycos.NewExpvarObserver("tycos"))

@@ -1,0 +1,90 @@
+// Command tycoslint runs the TYCOS invariant analyzers (see internal/lint)
+// over the given package directories and reports findings as
+// "file:line: [rule] message". It exits 0 when the tree is clean, 1 when any
+// diagnostic is reported, and 2 when packages fail to load or type-check.
+//
+// Usage:
+//
+//	tycoslint [-rules rule1,rule2] [packages...]
+//
+// Package arguments are directories relative to the module root; a trailing
+// /... walks recursively, skipping testdata (point at a testdata tree
+// explicitly to lint fixtures). With no arguments it lints ./... .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tycos/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tycoslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer subset to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader := &lint.Loader{Root: root}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tycoslint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("tycoslint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

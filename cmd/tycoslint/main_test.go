@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirRepoRoot moves the test into the module root so findModuleRoot and the
+// relative package patterns resolve the same way they do for a CI invocation.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(filepath.Dir(filepath.Dir(wd)))
+}
+
+func TestRunRepoClean(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("run on the live tree exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run still printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestRunFixturesDirty(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr strings.Builder
+	code := run([]string{"internal/lint/testdata/floateq/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run on fixtures exited %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[floateq]") {
+		t.Fatalf("fixture run reported no floateq findings:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Fatalf("missing findings summary on stderr:\n%s", stderr.String())
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-rules", "nosuchrule"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	for _, rule := range []string{"nodeterm", "floateq", "ctxflow", "gopanic", "stdlibonly"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Fatalf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}

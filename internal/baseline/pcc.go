@@ -32,6 +32,7 @@ func Pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//lint:allow floateq exact zero-variance sentinel guarding the division; any nonzero sum of squares is valid
 	if sxx == 0 || syy == 0 {
 		return 0
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"tycos/internal/series"
@@ -17,6 +18,16 @@ import (
 // It is exact and therefore exponentially slower than Search; use it only on
 // small inputs (the paper's 9,000-sample example takes >12 hours in C++).
 func BruteForce(p series.Pair, opts Options) (Result, error) {
+	return BruteForceContext(context.Background(), p, opts)
+}
+
+// BruteForceContext is BruteForce with cooperative cancellation — essential
+// for an enumeration whose uninterrupted running time is measured in hours.
+// The stop conditions (context cancellation, Options.MaxEvaluations,
+// Options.Deadline) are checked once per evaluated window; on a stop the
+// windows aggregated so far are returned with Result.Partial set and
+// Stats.StopReason recording the cause, mirroring SearchContext's contract.
+func BruteForceContext(ctx context.Context, p series.Pair, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(p.Len()); err != nil {
 		return Result{}, err
@@ -26,6 +37,7 @@ func BruteForce(p series.Pair, opts Options) (Result, error) {
 		pair: p,
 		opts: opts,
 		cons: opts.constraints(p.Len()),
+		ctx:  ctx,
 	}
 	sc := newBatchScorer(p, opts.K, opts.Normalization)
 	if opts.SignificanceLevel > 0 {
@@ -35,6 +47,7 @@ func BruteForce(p series.Pair, opts Options) (Result, error) {
 
 	var hits []window.Scored
 	n := p.Len()
+scan:
 	for start := 0; start+opts.SMin-1 < n; start++ {
 		maxEnd := start + opts.SMax - 1
 		if maxEnd > n-1 {
@@ -42,6 +55,12 @@ func BruteForce(p series.Pair, opts Options) (Result, error) {
 		}
 		for end := start + opts.SMin - 1; end <= maxEnd; end++ {
 			for tau := -opts.TDMax; tau <= opts.TDMax; tau++ {
+				// Per-window stop check: each evaluation is an O(m log m)
+				// kNN pass, so the check is cheap relative to the work it
+				// bounds, and a budget stop lands on a deterministic window.
+				if s.checkStop() {
+					break scan
+				}
 				w := window.Window{Start: start, End: end, Delay: tau}
 				if !s.cons.Feasible(w) {
 					continue
@@ -59,7 +78,11 @@ func BruteForce(p series.Pair, opts Options) (Result, error) {
 	}
 	merged := window.MergeOverlapping(hits)
 	s.stats.MIBatch, s.stats.MIIncremental = s.scorer.stats()
-	return Result{Windows: merged, Stats: s.stats}, nil
+	if s.stop == "" {
+		s.stop = StopCompleted
+	}
+	s.stats.StopReason = s.stop
+	return Result{Windows: merged, Stats: s.stats, Partial: s.stop != StopCompleted}, nil
 }
 
 // SearchSpaceSize reports the exact number of feasible windows for the

@@ -1,0 +1,127 @@
+package core
+
+// Regression tests for real invariant violations surfaced by tycoslint
+// (cmd/tycoslint): a sweep-worker goroutine with no recover around the
+// observer/checkpoint code paths, and the Brute Force enumeration having no
+// cancellation path at all.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tycos/internal/obs"
+)
+
+// panicSink panics inside the search's own goroutine when the armed event
+// kind arrives — modelling a buggy user-provided observer, which runs
+// outside searchPairOnce's per-attempt recover.
+type panicSink struct {
+	pair string
+}
+
+func (s *panicSink) Event(e obs.Event) {
+	if ps, ok := e.(obs.PairStarted); ok && ps.Pair == s.pair {
+		panic("observer exploded on " + ps.Pair)
+	}
+}
+func (s *panicSink) Count(string, int64)            {}
+func (s *panicSink) PhaseEnd(obs.Phase, time.Duration) {}
+
+// TestSearchAllObserverPanicIsolated pins the gopanic fix: before the sweep
+// workers got their own recover, a panic raised by an observer callback (or
+// checkpoint journaling) escaped the worker goroutine and killed the whole
+// process — this test would not fail but crash the test binary.
+func TestSearchAllObserverPanicIsolated(t *testing.T) {
+	ss := sweepSeries("a", "b", "c")
+	opts := defaultOpts()
+	opts.Observer = &panicSink{pair: "a/b"}
+	res := SearchAllContext(context.Background(), ss, opts, SweepOptions{Parallelism: 2})
+	if len(res) != 3 {
+		t.Fatalf("got %d pair results, want 3", len(res))
+	}
+	var failed, succeeded int
+	for _, pr := range res {
+		name := pr.XName + "/" + pr.YName
+		if name == "a/b" {
+			if pr.Err == nil {
+				t.Fatalf("pair %s: want a captured panic error, got nil", name)
+			}
+			if !strings.Contains(pr.Err.Error(), "panic outside search isolation") {
+				t.Errorf("pair %s: error %q does not name the isolation path", name, pr.Err)
+			}
+			failed++
+			continue
+		}
+		if pr.Err != nil {
+			t.Errorf("pair %s: unexpected error: %v", name, pr.Err)
+			continue
+		}
+		succeeded++
+	}
+	if failed != 1 || succeeded != 2 {
+		t.Errorf("failed=%d succeeded=%d, want 1 failed / 2 succeeded", failed, succeeded)
+	}
+}
+
+// TestBruteForceContextCancelled pins the ctxflow fix: BruteForce's O(n³)
+// enumeration used to be uninterruptible; it now honours the same
+// cancellation contract as SearchContext.
+func TestBruteForceContextCancelled(t *testing.T) {
+	p := testPair(7, 120, 30, 90, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := BruteForceContext(ctx, p, defaultOpts())
+	if err != nil {
+		t.Fatalf("cancelled brute force must not error: %v", err)
+	}
+	if !res.Partial || res.Stats.StopReason != StopCancelled {
+		t.Errorf("Partial=%v StopReason=%q, want partial cancelled", res.Partial, res.Stats.StopReason)
+	}
+	if res.Stats.WindowsEvaluated != 0 {
+		t.Errorf("pre-cancelled run evaluated %d windows, want 0", res.Stats.WindowsEvaluated)
+	}
+}
+
+// TestBruteForceContextBudget verifies the deterministic evaluation budget
+// stops the enumeration at an exact, reproducible point.
+func TestBruteForceContextBudget(t *testing.T) {
+	p := testPair(7, 120, 30, 90, 2)
+	opts := defaultOpts()
+	opts.MaxEvaluations = 25
+	res, err := BruteForceContext(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stats.StopReason != StopBudget {
+		t.Errorf("Partial=%v StopReason=%q, want partial budget", res.Partial, res.Stats.StopReason)
+	}
+	if res.Stats.WindowsEvaluated > opts.MaxEvaluations {
+		t.Errorf("evaluated %d windows past the %d budget", res.Stats.WindowsEvaluated, opts.MaxEvaluations)
+	}
+	again, err := BruteForceContext(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.WindowsEvaluated != res.Stats.WindowsEvaluated {
+		t.Errorf("budget stop is not deterministic: %d vs %d evaluations",
+			again.Stats.WindowsEvaluated, res.Stats.WindowsEvaluated)
+	}
+}
+
+// TestBruteForceCompletedUnchanged pins the uninterrupted path: no budget,
+// no cancellation — complete result, StopCompleted, not partial.
+func TestBruteForceCompletedUnchanged(t *testing.T) {
+	p := testPair(7, 90, 20, 70, 1)
+	res, err := BruteForce(p, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.Stats.StopReason != StopCompleted {
+		t.Errorf("Partial=%v StopReason=%q, want complete", res.Partial, res.Stats.StopReason)
+	}
+	if res.Stats.WindowsEvaluated == 0 {
+		t.Error("complete brute force evaluated no windows")
+	}
+}

@@ -127,7 +127,21 @@ func SearchAllContext(ctx context.Context, ss []series.Series, opts Options, sw 
 		go func() {
 			defer wg.Done()
 			for jb := range ch {
-				out[jb.pos] = searchPair(ctx, jb.x, jb.y, opts, sw, jb.pos, len(jobs))
+				// searchPairOnce isolates panics from the search itself, but
+				// observer callbacks and checkpoint journaling run outside
+				// that recover; without this worker-level net a panic there
+				// would escape the goroutine and kill the whole process,
+				// voiding the sweep's per-pair fault isolation.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							out[jb.pos] = PairResult{XName: jb.x.Name, YName: jb.y.Name,
+								Err: fmt.Errorf("core: pair (%s, %s): panic outside search isolation: %v\n%s",
+									jb.x.Name, jb.y.Name, r, debug.Stack())}
+						}
+					}()
+					out[jb.pos] = searchPair(ctx, jb.x, jb.y, opts, sw, jb.pos, len(jobs))
+				}()
 			}
 		}()
 	}
@@ -158,7 +172,7 @@ func searchPair(ctx context.Context, x, y series.Series, opts Options, sw SweepO
 	pr := PairResult{XName: x.Name, YName: y.Name}
 	o := opts.Observer
 	pairName := x.Name + "/" + y.Name
-	start := time.Now()
+	start := clockNow()
 	finish := func() {
 		if o == nil {
 			return
@@ -176,7 +190,7 @@ func searchPair(ctx context.Context, x, y series.Series, opts Options, sw SweepO
 			Partial:        pr.Result.Partial,
 			FromCheckpoint: pr.FromCheckpoint,
 			Err:            errMsg,
-			Duration:       time.Since(start),
+			Duration:       clockSince(start),
 		})
 	}
 	if sw.Checkpoint != nil {

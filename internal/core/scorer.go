@@ -280,12 +280,18 @@ func (s *incScorer) retire(st *incState) {
 	s.retired.Refreshes += ops.Refreshes
 }
 
-// evictLRU drops the least recently used cached estimator.
+// evictLRU drops the least recently used cached estimator. lastUse values
+// are unique (moveTo advances the tick before stamping exactly one state),
+// but the smallest-delay tie-break makes the choice provably independent of
+// map iteration order rather than relying on that argument.
 func (s *incScorer) evictLRU() {
 	oldestDelay, oldestUse := 0, int(^uint(0)>>1)
+	found := false
+	//lint:allow nodeterm argmin with a total-order tie-break; the selected entry is the same for every iteration order
 	for d, st := range s.states {
-		if st.lastUse < oldestUse {
+		if !found || st.lastUse < oldestUse || (st.lastUse == oldestUse && d < oldestDelay) {
 			oldestDelay, oldestUse = d, st.lastUse
+			found = true
 		}
 	}
 	s.retire(s.states[oldestDelay])
@@ -296,6 +302,7 @@ func (s *incScorer) stats() (int, int) { return s.nBatch, s.nInc }
 
 func (s *incScorer) counters() []counter {
 	total := s.retired
+	//lint:allow nodeterm integer-sum fold; addition commutes, so the totals are iteration-order independent
 	for _, st := range s.states {
 		ops := st.inc.Ops()
 		total.Inserts += ops.Inserts

@@ -207,7 +207,9 @@ func (g *Grid) scanRing(center [2]int32, r int32, q Point, k, exclude int, h *ma
 }
 
 // VisitRect calls fn for every point id whose coordinates fall inside the
-// closed rectangle [xlo,xhi]×[ylo,yhi].
+// closed rectangle [xlo,xhi]×[ylo,yhi]. The visit order is unspecified:
+// callers needing a reproducible result must fold commutatively (counting,
+// max) or sort what they collect.
 func (g *Grid) VisitRect(xlo, xhi, ylo, yhi float64, fn func(id int, p Point)) {
 	if xlo > xhi || ylo > yhi {
 		return
@@ -219,6 +221,10 @@ func (g *Grid) VisitRect(xlo, xhi, ylo, yhi float64, fn func(id int, p Point)) {
 	// When the rectangle spans more cells than there are points, iterating
 	// the point map directly is cheaper.
 	if int64(cx1-cx0+1)*int64(cy1-cy0+1) > int64(len(g.pts)) {
+		// Visit order is unspecified either way (cell-scan order is not id
+		// order), so callers must fold commutatively; CountRect, the only
+		// non-test caller, counts.
+		//lint:allow nodeterm VisitRect documents unspecified visit order; its callers are commutative counting folds
 		for id, p := range g.pts {
 			if p.X >= xlo && p.X <= xhi && p.Y >= ylo && p.Y <= yhi {
 				fn(id, p)

@@ -96,6 +96,7 @@ func (h maxHeap) sorted() []Neighbor {
 // sortInPlace orders the heap contents by ascending distance (ties by id).
 func (h maxHeap) sortInPlace() {
 	sort.Slice(h, func(i, j int) bool {
+		//lint:allow floateq exact compare is required: a tolerant tie-break would make the sort order intransitive
 		if h[i].Dist != h[j].Dist {
 			return h[i].Dist < h[j].Dist
 		}

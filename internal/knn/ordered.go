@@ -32,6 +32,7 @@ func (m *OrderedMultiset) Insert(v float64) {
 // Remove deletes one occurrence of v, reporting whether it was present.
 func (m *OrderedMultiset) Remove(v float64) bool {
 	i := sort.SearchFloat64s(m.vals, v)
+	//lint:allow floateq exact membership is the contract: Remove deletes the same bit pattern Insert stored
 	if i >= len(m.vals) || m.vals[i] != v {
 		return false
 	}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflowScope limits the analyzer to the search core, where the
+// cancellation contract lives: SearchContext and friends promise that a
+// cancelled context stops the search at the next restart or climb-iteration
+// boundary, which is only true if every loop that scores windows also
+// consults a stop signal.
+var ctxflowScope = map[string]bool{
+	"tycos/internal/core": true,
+}
+
+// scorerCalls are the method names through which the search evaluates
+// windows. A loop that invokes one of these is a climb (or enumeration)
+// loop and must be interruptible.
+var scorerCalls = map[string]bool{
+	"score":      true,
+	"mustScore":  true,
+	"finalScore": true,
+}
+
+// stopCalls are the recognised stop checks: the searcher's budget/context
+// gate, or direct context-method use.
+var stopCalls = map[string]bool{
+	"checkStop": true,
+	"Done":      true,
+	"Err":       true,
+}
+
+// CtxFlow enforces the cancellation contract in internal/core with two
+// checks: an exported function that accepts a context.Context must actually
+// use it (a dropped ctx parameter silently breaks SearchContext's promise),
+// and every loop that calls the scorer must contain a stop check —
+// checkStop, ctx.Done or ctx.Err — among its direct statements. Inner loops
+// that are deliberately checked only at their enclosing iteration boundary
+// (bounded neighbourhood scans) carry allow directives explaining the bound.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "exported entry points taking a context must use it, and every " +
+		"scorer-calling loop in internal/core must contain a stop check",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !ctxflowScope[pass.Pkg.ImportPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.walkFiles(func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.IsExported() {
+				checkCtxUsed(pass, info, fd)
+			}
+			checkLoops(pass, fd.Body)
+		}
+	})
+}
+
+// checkCtxUsed reports an exported function whose context.Context parameter
+// is never read in its body.
+func checkCtxUsed(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Report(name.Pos(), "exported %s discards its context.Context parameter; thread it into the search loops", fd.Name.Name)
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !objUsed(info, fd.Body, obj) {
+				pass.Report(name.Pos(), "exported %s never uses its context.Context parameter %s; thread it into the search loops", fd.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func objUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// checkLoops walks every for/range statement in the body and reports loops
+// whose direct statements call the scorer without also containing a stop
+// check. "Direct" excludes nested loops and function literals: a nested
+// loop is its own climb boundary and is judged on its own.
+func checkLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		default:
+			return true
+		}
+		hasScorer, hasStop := scanLoopBody(loopBody)
+		if hasScorer && !hasStop {
+			pass.Report(n.Pos(), "loop calls the scorer but contains no stop check (checkStop / ctx.Done / ctx.Err); cancellation cannot interrupt it")
+		}
+		return true
+	})
+}
+
+// scanLoopBody classifies the calls among a loop body's direct statements.
+func scanLoopBody(body *ast.BlockStmt) (hasScorer, hasStop bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // nested loops and closures are judged separately
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if scorerCalls[name] {
+				hasScorer = true
+			}
+			if stopCalls[name] {
+				hasStop = true
+			}
+		case *ast.UnaryExpr:
+			// <-ctx.Done() appears as a receive; the Done call beneath it is
+			// caught by the CallExpr case, so nothing extra is needed here.
+		}
+		return true
+	})
+	return hasScorer, hasStop
+}
+
+// calleeName extracts the bare name of a call's callee.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floateqExempt lists packages allowed to compare floats exactly:
+// internal/mathx owns the tolerant comparators and the special-function
+// code whose pole/reflection tests are exact by definition.
+var floateqExempt = map[string]bool{
+	"tycos/internal/mathx": true,
+}
+
+// FloatEq forbids raw == / != between floating-point (or complex) operands
+// outside internal/mathx. Scores, MI estimates and normalized values travel
+// through enough arithmetic that exact equality is almost always a latent
+// bug; mathx.AlmostEqual states the tolerance explicitly. Genuinely exact
+// comparisons — sentinel zeros, bit-pattern membership in a multiset —
+// carry allow directives saying why exactness is correct.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid raw float ==/!= outside internal/mathx; use " +
+		"mathx.AlmostEqual or allowlist a genuinely exact comparison",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if floateqExempt[pass.Pkg.ImportPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			// A comparison the compiler folds to a constant cannot misfire
+			// at run time.
+			if tv, ok := info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			if isFloatOperand(info, be.X) || isFloatOperand(info, be.Y) {
+				pass.Report(be.Pos(), "raw float %s comparison; use mathx.AlmostEqual (or allowlist if exactness is intended)", be.Op)
+			}
+			return true
+		})
+	})
+}
+
+// isFloatOperand reports whether the expression's type is (or contains, for
+// complex numbers) a floating-point value.
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

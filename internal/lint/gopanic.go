@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoPanic enforces the fault-isolation invariant: a panic on a goroutine
+// that nothing recovers kills the whole process, which voids the sweep's
+// per-pair isolation and the restart workers' repanic contract. Every go
+// statement must therefore spawn a function literal that visibly recovers
+// (directly or through a deferred closure); goroutines that route panics
+// elsewhere by construction carry an allow directive naming that path.
+var GoPanic = &Analyzer{
+	Name: "gopanic",
+	Doc: "every go statement must spawn a function literal containing a " +
+		"recover, or carry an allow directive naming its repanic path",
+	Run: runGoPanic,
+}
+
+func runGoPanic(pass *Pass) {
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				pass.Report(gs.Pos(), "go statement calls a named function; use a function literal with a deferred recover so panic isolation is visible at the spawn site")
+				return true
+			}
+			if !containsRecover(lit.Body) {
+				pass.Report(gs.Pos(), "goroutine has no recover; an escaped panic kills the process and voids per-pair fault isolation")
+			}
+			return true
+		})
+	})
+}
+
+// containsRecover reports whether the block calls recover() anywhere,
+// including inside deferred closures.
+func containsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

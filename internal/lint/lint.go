@@ -1,0 +1,224 @@
+// Package lint is a stdlib-only static-analysis framework plus the TYCOS
+// analyzer suite. It exists because the properties the search engine's
+// correctness claims rest on — determinism of the restart walk, tolerant
+// float comparisons, cancellation flowing into every climb loop, panic
+// isolation in worker goroutines, and a dependency tree that stays inside
+// the standard library — are invariants of the source code, not of any one
+// test run. Encoding them as analyzers makes CI fail when a change breaks
+// one, instead of relying on review convention.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are loaded
+// with go/parser and type-checked with go/types using the source importer,
+// so the linter itself obeys the stdlib-only rule it enforces.
+//
+// Findings can be suppressed, one line at a time, with an allow directive on
+// the offending line or the line directly above it:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is mandatory — an allowlist entry is a claim that the flagged
+// code is safe, and the claim has to be stated. Unused directives are
+// themselves reported, so stale suppressions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, rendered as "file:line: [rule] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the package and reports findings through pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	result *fileSet
+}
+
+// Report records a finding at pos unless an allow directive for the
+// analyzer's rule covers that line.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.result.report(p.Pkg.Fset.Position(pos), p.Analyzer.Name, fmt.Sprintf(format, args...))
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// fileSet accumulates diagnostics and directives across a package run.
+type fileSet struct {
+	diags  []Diagnostic
+	allows []*allowDirective
+	// byLine indexes directives by (filename, line) for suppression lookup.
+	byLine map[string]map[int]*allowDirective
+}
+
+func (fs *fileSet) report(pos token.Position, rule, msg string) {
+	if d := fs.lookup(pos, rule); d != nil {
+		d.used = true
+		return
+	}
+	fs.diags = append(fs.diags, Diagnostic{Pos: pos, Rule: rule, Message: msg})
+}
+
+// lookup finds an allow directive for rule on the diagnostic's line or the
+// line directly above it.
+func (fs *fileSet) lookup(pos token.Position, rule string) *allowDirective {
+	lines := fs.byLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d := lines[line]; d != nil && d.rule == rule {
+			return d
+		}
+	}
+	return nil
+}
+
+// allowPrefix introduces an allow directive comment.
+const allowPrefix = "//lint:allow"
+
+// collectDirectives parses every //lint:allow comment in the package.
+// Malformed directives (no rule, or no reason) are reported immediately
+// under the directive rule: a suppression without a stated justification is
+// not a suppression.
+func collectDirectives(pkg *Package, fs *fileSet) {
+	fs.byLine = make(map[string]map[int]*allowDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowfoo — not our directive
+				}
+				// A nested comment marker ends the directive: the reason is
+				// the text before it, never a trailing // annotation.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					fs.diags = append(fs.diags, Diagnostic{Pos: pos, Rule: "directive",
+						Message: "allow directive is missing a rule name: //lint:allow <rule> <reason>"})
+					continue
+				}
+				if len(fields) == 1 {
+					fs.diags = append(fs.diags, Diagnostic{Pos: pos, Rule: "directive",
+						Message: fmt.Sprintf("allow directive for %q is missing a reason: //lint:allow <rule> <reason>", fields[0])})
+					continue
+				}
+				d := &allowDirective{pos: pos, rule: fields[0], reason: strings.Join(fields[1:], " ")}
+				fs.allows = append(fs.allows, d)
+				lines := fs.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*allowDirective)
+					fs.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+			}
+		}
+	}
+}
+
+// Run executes the analyzers over the packages and returns every surviving
+// diagnostic, sorted by position. A directive that suppressed nothing is
+// reported as unused when its rule belongs to an analyzer in this run —
+// stale allowlist entries are how invariants rot silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		fs := &fileSet{}
+		collectDirectives(pkg, fs)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, result: fs})
+		}
+		for _, d := range fs.allows {
+			if !d.used && active[d.rule] {
+				fs.diags = append(fs.diags, Diagnostic{Pos: d.pos, Rule: "directive",
+					Message: fmt.Sprintf("unused allow directive for rule %q", d.rule)})
+			}
+		}
+		all = append(all, fs.diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Rule < all[j].Rule
+	})
+	return all
+}
+
+// Analyzers returns the full TYCOS analyzer suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoDeterm, FloatEq, CtxFlow, GoPanic, StdlibOnly}
+}
+
+// ByName resolves a comma-separated rule list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// walkFiles applies fn to every file of the pass's package.
+func (p *Pass) walkFiles(fn func(f *ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantPattern extracts expected-diagnostic annotations from fixture comments.
+// A comment containing `want "substring"` on (or trailing) a line declares
+// that an analyzer must report a diagnostic on that line whose message
+// contains the substring. Multiple want markers may share a comment.
+var wantPattern = regexp.MustCompile(`want "([^"]+)"`)
+
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+func collectWants(pkgs []*Package) []*want {
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantPattern.FindAllStringSubmatch(c.Text, -1) {
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, substr: m[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata fixture tree, runs the given analyzers, and
+// checks the diagnostics against the fixture's want annotations exactly: every
+// diagnostic must match a want on its line, and every want must be matched.
+func runFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	loader := &Loader{Root: "../.."}
+	pkgs, err := loader.Load("internal/lint/testdata/" + fixture + "/...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", fixture)
+	}
+	wants := collectWants(pkgs)
+	diags := Run(pkgs, analyzers)
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		fixture string
+		rules   string // "" = full suite
+	}{
+		{"nodeterm", "nodeterm"},
+		{"floateq", "floateq"},
+		{"ctxflow", "ctxflow"},
+		{"gopanic", "gopanic"},
+		{"stdlibonly", "stdlibonly"},
+		{"directive", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			analyzers, err := ByName(tc.rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runFixture(t, tc.fixture, analyzers)
+		})
+	}
+}
+
+// TestRepoLintsClean is the acceptance gate: the live tree must produce zero
+// diagnostics under the full analyzer suite. Any new finding is either a real
+// invariant violation to fix or needs an explicit //lint:allow with a reason.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader := &Loader{Root: "../.."}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo is not lint-clean: %s", d)
+	}
+}
+
+// TestByName covers subset selection and unknown-rule errors.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	}
+	two, err := ByName("nodeterm, gopanic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "nodeterm" || two[1].Name != "gopanic" {
+		t.Fatalf("ByName subset = %v", two)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName accepted an unknown rule")
+	}
+}
+
+// TestDiagnosticString pins the rendered diagnostic format that CI greps rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "nodeterm", Message: "call to time.Now"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 7
+	got := d.String()
+	if got != "a/b.go:7: [nodeterm] call to time.Now" {
+		t.Fatalf("Diagnostic.String() = %q", got)
+	}
+	if fmt.Sprint(d) != got {
+		t.Fatalf("fmt.Sprint disagrees with String: %q", fmt.Sprint(d))
+	}
+}

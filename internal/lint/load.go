@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit the analyzers run
+// over. Test files (*_test.go) are excluded — the invariants tycoslint
+// enforces are about shipped search code, and test packages routinely use
+// wall clocks and exact float comparisons on purpose.
+type Package struct {
+	// ImportPath is the package's import path. For packages under a
+	// testdata/…/src/ tree it is computed relative to that src directory, so
+	// fixtures can impersonate scoped paths like tycos/internal/core.
+	ImportPath string
+	// Module is the module path of the tree the package was loaded from.
+	Module string
+	// Dir is the directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses and type-checks packages using only the standard
+// library: go/parser for syntax and go/types with the source importer for
+// semantics. It deliberately avoids golang.org/x/tools — the module's
+// stdlib-only constraint applies to the linter that enforces it.
+type Loader struct {
+	// Root is the module root directory (the one containing go.mod).
+	Root string
+	// ModulePath is the module path declared in go.mod; filled by Load when
+	// empty.
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+}
+
+// Load resolves the patterns (directories, or dir/... for a recursive walk,
+// relative to Root) into packages, parses their non-test files and
+// type-checks them in dependency order. Directories named testdata are
+// skipped by recursive walks unless the pattern itself points inside one.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if l.ModulePath == "" {
+		mp, err := modulePath(filepath.Join(l.Root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		l.ModulePath = mp
+	}
+	l.fset = token.NewFileSet()
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	ordered, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*types.Package)
+	for _, p := range ordered {
+		if err := l.check(p, byPath); err != nil {
+			return nil, err
+		}
+		byPath[p.ImportPath] = p.Types
+	}
+	return ordered, nil
+}
+
+// expand resolves the CLI-style patterns into package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.Root, base)
+		}
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// parseDir parses the directory's non-test Go files into a Package with no
+// type information yet; nil when the directory has no buildable files.
+func (l *Loader) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if isSourceFile(e) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	p := &Package{Dir: dir, Fset: l.fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	ip, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	p.ImportPath = ip
+	p.Module = l.ModulePath
+	return p, nil
+}
+
+// importPath derives a package's import path from its directory. Inside a
+// testdata tree the nearest ancestor directory named src acts as a virtual
+// module root (the analysistest convention), so fixture packages can carry
+// scoped import paths such as tycos/internal/core without colliding with the
+// real tree; everywhere else the path is module-relative.
+func (l *Loader) importPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if i := strings.LastIndex(abs, string(filepath.Separator)+"testdata"+string(filepath.Separator)); i >= 0 {
+		rest := abs[i+len(string(filepath.Separator)+"testdata"+string(filepath.Separator)):]
+		parts := strings.Split(rest, string(filepath.Separator))
+		for j, part := range parts {
+			if part == "src" {
+				return strings.Join(parts[j+1:], "/"), nil
+			}
+		}
+	}
+	rootAbs, err := filepath.Abs(l.Root)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(rootAbs, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// check type-checks one package against the packages already checked.
+func (l *Loader) check(p *Package, byPath map[string]*types.Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{module: l.ModulePath, loaded: byPath, std: l.std},
+	}
+	tpkg, err := conf.Check(p.ImportPath, l.fset, p.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+	return nil
+}
+
+// moduleImporter resolves imports for the type checker: packages loaded in
+// this run are served directly, standard-library paths go through the source
+// importer, and anything else — third-party paths, or module-internal paths
+// outside the load set — resolves to an empty placeholder package. The
+// placeholder keeps type-checking alive for fixtures that blank-import a
+// path the stdlibonly analyzer should flag; any actual use of a
+// placeholder's members is still a type error.
+type moduleImporter struct {
+	module string
+	loaded map[string]*types.Package
+	std    types.Importer
+	fakes  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	moduleInternal := path == m.module || strings.HasPrefix(path, m.module+"/")
+	if !moduleInternal && isStdlibPath(path) {
+		return m.std.Import(path)
+	}
+	if m.fakes == nil {
+		m.fakes = make(map[string]*types.Package)
+	}
+	if p, ok := m.fakes[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	m.fakes[path] = p
+	return p, nil
+}
+
+// isStdlibPath reports whether an import path names a standard-library
+// package: by convention the first path element of every non-stdlib package
+// is a domain name and therefore contains a dot.
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return first != "" && !strings.Contains(first, ".")
+}
+
+// topoSort orders packages so every package follows the packages it imports;
+// imports that are not part of this load (stdlib, placeholders) impose no
+// ordering. Import cycles are an error.
+func topoSort(pkgs []*Package) ([]*Package, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		if other, dup := byPath[p.ImportPath]; dup {
+			return nil, fmt.Errorf("lint: duplicate import path %s (%s and %s)", p.ImportPath, other.Dir, p.Dir)
+		}
+		byPath[p.ImportPath] = p
+	}
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(pkgs))
+	ordered := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		}
+		state[p.ImportPath] = visiting
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep, ok := byPath[path]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.ImportPath] = done
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nodetermScope lists the packages whose behaviour must be a pure function
+// of (input, Options): the search core and the estimator/acceptor machinery
+// beneath it. The byte-identical parallel-search guarantee (see
+// internal/core/parallel.go) holds only while nothing in these packages
+// consults a wall clock, a global RNG, or Go's randomized map iteration
+// order on a path that influences results.
+var nodetermScope = map[string]bool{
+	"tycos/internal/core": true,
+	"tycos/internal/mi":   true,
+	"tycos/internal/knn":  true,
+	"tycos/internal/lahc": true,
+}
+
+// randAllowed are the math/rand package-level functions that do not touch
+// the global generator: constructors fed an explicit seed or an explicit
+// *rand.Rand remain deterministic.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NoDeterm forbids the three nondeterminism sources inside the search core:
+// wall-clock reads (time.Now/Since/Until), the global math/rand generator,
+// and iteration over maps. Deliberate uses — the throttled deadline clock,
+// observability timings, order-insensitive map folds — carry allow
+// directives with their justification.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid wall-clock reads, global math/rand state and map iteration " +
+		"in the deterministic search packages",
+	Run: runNoDeterm,
+}
+
+func runNoDeterm(pass *Pass) {
+	if !nodetermScope[pass.Pkg.ImportPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := info.Uses[n.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Package-level selector only: method values on rand.Rand or
+				// time.Time are fine, so require the receiver-less form.
+				if _, isPkg := info.Uses[identOf(n.X)].(*types.PkgName); !isPkg {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Report(n.Pos(), "time.%s reads the wall clock; search behaviour must depend only on the input and Options", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !randAllowed[fn.Name()] {
+						pass.Report(n.Pos(), "rand.%s uses the global generator; derive a seeded *rand.Rand from Options.Seed instead", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Report(n.Pos(), "map iteration order is nondeterministic; iterate a sorted key slice, or allowlist a provably order-insensitive fold")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// identOf unwraps a (possibly parenthesised) identifier expression.
+func identOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

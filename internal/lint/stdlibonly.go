@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// leafPackages are module packages that must not import anything from the
+// module itself: internal/obs is the embeddable observability surface, and
+// keeping it stdlib-pure is what lets a sink be vendored into another
+// process without dragging the search engine along. This generalizes the
+// old CI grep over `go list -deps ./internal/obs`.
+var leafPackages = map[string]bool{
+	"tycos/internal/obs": true,
+}
+
+// StdlibOnly enforces the module's dependency rule as a typed check instead
+// of a CI grep: every import in every package must be either standard
+// library or module-internal (no third-party modules, no cgo), and the
+// designated leaf packages must not import module-internal packages either.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc: "imports must be stdlib or module-internal everywhere; " +
+		"internal/obs must be stdlib-pure",
+	Run: runStdlibOnly,
+}
+
+func runStdlibOnly(pass *Pass) {
+	leaf := leafPackages[pass.Pkg.ImportPath]
+	modulePrefix := pass.Pkg.Module
+	pass.walkFiles(func(f *ast.File) {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == "C":
+				pass.Report(imp.Pos(), "cgo import; the module is pure Go on the standard library only")
+			case path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/"):
+				if leaf {
+					pass.Report(imp.Pos(), "%s imports module-internal %s; observability sinks must stay embeddable with zero module dependencies", pass.Pkg.ImportPath, path)
+				}
+			case !isStdlibPath(path):
+				pass.Report(imp.Pos(), "non-stdlib import %s; the module must build with the Go standard library alone", path)
+			}
+		}
+	})
+}

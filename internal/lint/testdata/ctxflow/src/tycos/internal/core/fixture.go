@@ -1,0 +1,77 @@
+// Package core is a tycoslint fixture impersonating the search core so the
+// ctxflow analyzer's scope applies.
+package core
+
+import "context"
+
+type scorerT struct{}
+
+func (scorerT) score(i int) float64 { return float64(i) }
+
+type climber struct {
+	sc  scorerT
+	ctx context.Context
+}
+
+func (c *climber) checkStop() bool { return c.ctx != nil && c.ctx.Err() != nil }
+
+// DroppedCtx accepts a context and never consults it.
+func DroppedCtx(ctx context.Context, n int) float64 { // want "never uses its context.Context parameter"
+	var c climber
+	var s float64
+	for i := 0; i < n; i++ { // want "loop calls the scorer but contains no stop check"
+		s += c.sc.score(i)
+	}
+	return s
+}
+
+// BlankCtx declares the parameter away entirely.
+func BlankCtx(_ context.Context) {} // want "discards its context.Context parameter"
+
+// GuardedClimb threads the stop check into its scoring loop.
+func GuardedClimb(ctx context.Context, n int) float64 {
+	c := climber{ctx: ctx}
+	var s float64
+	for i := 0; i < n; i++ {
+		if c.checkStop() {
+			break
+		}
+		s += c.sc.score(i)
+	}
+	return s
+}
+
+// DirectDone uses the context's own Done channel as the stop check.
+func DirectDone(ctx context.Context, n int) float64 {
+	var c climber
+	var s float64
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return s
+		default:
+		}
+		s += c.sc.score(i)
+	}
+	return s
+}
+
+// allowedInner shows the sanctioned escape hatch for bounded inner scans.
+func allowedInner(n int) float64 {
+	var c climber
+	var s float64
+	//lint:allow ctxflow fixture: bounded inner scan, stop checked by the caller
+	for i := 0; i < n; i++ {
+		s += c.sc.score(i)
+	}
+	return s
+}
+
+// scoreFreeLoop never scores, so it needs no stop check.
+func scoreFreeLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}

@@ -1,0 +1,18 @@
+// Package directivepkg is a tycoslint fixture for the allow-directive
+// machinery itself: malformed and stale directives are findings too.
+package directivepkg
+
+func unusedAllow(a, b int) bool {
+	//lint:allow floateq nothing on the next line is a float comparison // want "unused allow directive"
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	//lint:allow floateq // want "missing a reason"
+	return a == b // want "raw float == comparison"
+}
+
+func missingRule(a, b float64) bool {
+	//lint:allow // want "missing a rule name"
+	return b == a // want "raw float == comparison"
+}

@@ -1,0 +1,35 @@
+// Package floateqpkg is a tycoslint fixture for the floateq analyzer.
+package floateqpkg
+
+func eqFloat(a, b float64) bool {
+	return a == b // want "raw float == comparison"
+}
+
+func neqFloat32(a, b float32) bool {
+	return a != b // want "raw float != comparison"
+}
+
+func eqComplex(a, b complex128) bool {
+	return a == b // want "raw float == comparison"
+}
+
+func eqMixedConst(a float64) bool {
+	return a == 0 // want "raw float == comparison"
+}
+
+func eqInt(a, b int) bool {
+	return a == b // integer equality is exact: not flagged
+}
+
+func constFolded() bool {
+	return 1.5 == 1.5 // compile-time constant: not flagged
+}
+
+func ordered(a, b float64) bool {
+	return a < b // only == and != are flagged
+}
+
+func allowedExact(a float64) bool {
+	//lint:allow floateq fixture: exact zero sentinel
+	return a == 0
+}

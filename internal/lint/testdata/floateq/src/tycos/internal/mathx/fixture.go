@@ -1,0 +1,8 @@
+// Package mathx is a tycoslint fixture verifying the floateq exemption: the
+// comparator package owns exact float comparisons, so nothing here is
+// flagged.
+package mathx
+
+func ExactEq(a, b float64) bool { return a == b }
+
+func ExactNeq(a, b float64) bool { return a != b }

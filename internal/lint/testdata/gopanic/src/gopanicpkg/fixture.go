@@ -1,0 +1,41 @@
+// Package gopanicpkg is a tycoslint fixture for the gopanic analyzer.
+package gopanicpkg
+
+func worker() {}
+
+func spawnNaked(done chan struct{}) {
+	go func() { // want "goroutine has no recover"
+		close(done)
+	}()
+}
+
+func spawnNamed() {
+	go worker() // want "go statement calls a named function"
+}
+
+func spawnRecovered(done chan struct{}) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		close(done)
+	}()
+}
+
+func spawnNestedRecover(out chan error) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out <- nil
+			}
+		}()
+		close(out)
+	}()
+}
+
+func spawnAllowed(done chan struct{}) {
+	//lint:allow gopanic fixture: panics routed through the harness's repanic path
+	go func() {
+		close(done)
+	}()
+}

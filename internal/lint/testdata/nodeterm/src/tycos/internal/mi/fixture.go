@@ -1,0 +1,61 @@
+// Package mi is a tycoslint fixture impersonating a nodeterm-scoped package
+// (the virtual src root gives it the import path tycos/internal/mi). Each
+// `want` comment names a diagnostic the nodeterm analyzer must report on
+// that line.
+package mi
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global generator"
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit seed: deterministic, not flagged
+	return rng.Float64()
+}
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want "map iteration order is nondeterministic"
+		s += k
+	}
+	return s
+}
+
+func sliceRange(v []int) int {
+	s := 0
+	for _, x := range v { // slices iterate in index order: not flagged
+		s += x
+	}
+	return s
+}
+
+func allowedClock() time.Time {
+	//lint:allow nodeterm fixture: observability timing only
+	return time.Now()
+}
+
+func allowedFold(m map[string]int64) int64 {
+	var total int64
+	//lint:allow nodeterm fixture: integer sum commutes
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package extdep is a tycoslint fixture for the stdlibonly analyzer: a
+// package that smuggles in a third-party dependency.
+package extdep
+
+import (
+	"fmt"
+
+	_ "example.com/notreal/dep" // want "non-stdlib import example.com/notreal/dep"
+)
+
+func Hello() string { return fmt.Sprint("hi") }

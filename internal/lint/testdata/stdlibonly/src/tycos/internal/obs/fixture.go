@@ -1,0 +1,9 @@
+// Package obs is a tycoslint fixture impersonating the observability leaf
+// package, which must not import anything module-internal.
+package obs
+
+import (
+	_ "encoding/json" // stdlib imports are fine everywhere
+
+	_ "tycos/internal/window" // want "observability sinks must stay embeddable"
+)

@@ -26,6 +26,7 @@ func DistanceProfile(q, ts []float64) ([]float64, error) {
 		return nil, fmt.Errorf("mass: query length %d exceeds series length %d", m, n)
 	}
 	muQ, sigmaQ := meanStd(q)
+	//lint:allow floateq exact zero-variance sentinel: z-normalised distance is undefined only at exactly zero
 	if sigmaQ == 0 {
 		return nil, fmt.Errorf("mass: query has zero variance")
 	}
@@ -37,6 +38,7 @@ func DistanceProfile(q, ts []float64) ([]float64, error) {
 	fm := float64(m)
 	out := make([]float64, n-m+1)
 	for i := range out {
+		//lint:allow floateq exact zero-variance sentinel: constant windows get an infinite distance, anything else is computable
 		if sigma[i] == 0 {
 			out[i] = math.Inf(1)
 			continue
@@ -79,10 +81,10 @@ func TopMatch(q, ts []float64) (Match, error) {
 
 // meanStd returns the mean and population standard deviation of v.
 func meanStd(v []float64) (mu, sigma float64) {
-	n := float64(len(v))
-	if n == 0 {
+	if len(v) == 0 {
 		return 0, 0
 	}
+	n := float64(len(v))
 	var s float64
 	for _, x := range v {
 		s += x

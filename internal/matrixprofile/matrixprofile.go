@@ -44,6 +44,7 @@ func ABJoin(a, b []float64, m int) (*Profile, error) {
 	}
 	for i := 0; i < na; i++ {
 		q := a[i : i+m]
+		//lint:allow floateq exact zero-variance sentinel: constant subsequences are excluded, near-constant ones are legitimate
 		if _, sigma := meanStd(q); sigma == 0 {
 			p.Dist[i] = math.Inf(1)
 			p.Index[i] = -1

@@ -91,6 +91,7 @@ func kthDistance1D(s []float64, q float64, k int) float64 {
 			break
 		}
 		if dr <= dl {
+			//lint:allow floateq exact compare identifies the query's own stored coordinate; q was copied from s unchanged
 			if !skippedSelf && s[right] == q {
 				skippedSelf = true
 				right++

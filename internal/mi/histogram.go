@@ -177,13 +177,22 @@ func HistogramJointEntropy(x, y []float64, bins int) float64 {
 	}
 	ix := binIndices(x, bx)
 	iy := binIndices(y, by)
+	// Occupied joint cells are collected in sorted key order before the
+	// entropy fold: float summation is not associative, so folding the
+	// p·log p terms in map iteration order would make the estimate differ
+	// in its low bits from call to call.
 	counts := make(map[int]int)
 	for i := range ix {
 		counts[ix[i]*by+iy[i]]++
 	}
-	flat := make([]int, 0, len(counts))
-	for _, c := range counts {
-		flat = append(flat, c)
+	keys := make([]int, 0, len(counts))
+	for k := range counts { //lint:allow nodeterm key collection only; the fold below runs in sorted order
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	flat := make([]int, 0, len(keys))
+	for _, k := range keys {
+		flat = append(flat, counts[k])
 	}
 	return entropyOfCounts(flat, len(x))
 }

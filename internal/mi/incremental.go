@@ -245,6 +245,7 @@ func (inc *Incremental) Remove(id int) bool {
 // the candidate sets approach the whole window anyway.
 func (inc *Incremental) classify(o knn.Point, sign int) []int {
 	refresh := inc.refreshBuf[:0]
+	//lint:allow nodeterm order-insensitive: the integer count adjustments commute, and the refresh set's members (not order) determine the recomputed states
 	for pid, st := range inc.state {
 		if knn.Chebyshev(o, st.p) <= st.d {
 			refresh = append(refresh, pid)
@@ -309,6 +310,7 @@ func (inc *Incremental) rebuildAll() {
 	if len(inc.state) <= inc.k {
 		return
 	}
+	//lint:allow nodeterm order-insensitive: each computePoint rebuilds one point's state from the (fixed) grid, independent of the others
 	for id, st := range inc.state {
 		inc.computePoint(id, st)
 	}

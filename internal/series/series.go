@@ -98,6 +98,7 @@ func (s Series) Stats() Stats { return Summarize(s.Values) }
 func ZNormalize(values []float64) []float64 {
 	st := Summarize(values)
 	out := make([]float64, len(values))
+	//lint:allow floateq exact zero-variance sentinel: any nonzero std, however small, is a valid divisor here
 	if st.Std == 0 {
 		return out
 	}
@@ -124,6 +125,7 @@ func Rank(values []float64) []float64 {
 	i := 0
 	for i < n {
 		j := i
+		//lint:allow floateq rank ties must group exactly equal values; a tolerance would merge distinct ones
 		for j+1 < n && values[idx[j+1]] == values[idx[i]] {
 			j++
 		}

@@ -154,6 +154,15 @@ const (
 // exponentially slower; use it only on small inputs or for validation.
 func BruteForce(p Pair, opts Options) (Result, error) { return core.BruteForce(p, opts) }
 
+// BruteForceContext is BruteForce with the same cooperative cancellation
+// contract as SearchContext: cancellation, Options.MaxEvaluations and
+// Options.Deadline stop the enumeration between windows, returning the
+// windows accepted so far with Result.Partial set and Stats.StopReason
+// recording the cause — not an error.
+func BruteForceContext(ctx context.Context, p Pair, opts Options) (Result, error) {
+	return core.BruteForceContext(ctx, p, opts)
+}
+
 // SearchSpaceSize reports the number of feasible windows for the options
 // over a series of length n (Lemma 1 of the paper).
 func SearchSpaceSize(n int, opts Options) int64 { return core.SearchSpaceSize(n, opts) }
