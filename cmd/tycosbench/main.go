@@ -1,0 +1,244 @@
+// Command tycosbench measures the MI hot path — per-estimate cost and
+// allocation behaviour of the KSG batch and incremental estimators, plus an
+// end-to-end search per variant — and writes the results as JSON in the same
+// shape as BENCH_RESTART_WORKERS.json, so regressions diff as one line per
+// workload.
+//
+// Usage:
+//
+//	tycosbench [-quick] [-out BENCH_HOTPATH.json]
+//
+// -quick trims the measurement time for CI smoke runs; the checked-in
+// baseline is produced without it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	tycos "tycos"
+	"tycos/internal/mi"
+	"tycos/internal/synth"
+)
+
+// report mirrors the shape of BENCH_RESTART_WORKERS.json.
+type report struct {
+	Benchmark   string   `json:"benchmark"`
+	Description string   `json:"description"`
+	Date        string   `json:"date"`
+	Runner      runner   `json:"runner"`
+	Benchtime   string   `json:"benchtime"`
+	Results     []result `json:"results"`
+	Reproduce   string   `json:"reproduce"`
+}
+
+type runner struct {
+	CPU        string `json:"cpu"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note"`
+}
+
+type result struct {
+	Workload    string  `json:"workload"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	Note        string  `json:"note,omitempty"`
+	SpeedupVsB  float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// baselines are the pre-optimisation measurements (captured on the same
+// single-core Xeon runner before the scratch-reuse work landed); the emitted
+// speedup_vs_baseline column contextualises new runs against them.
+var baselines = map[string]int64{
+	"ksg-estimate/kdtree": 1275910,
+	"ksg-estimate/brute":  3035737,
+	"ksg-estimate/grid":   1486657,
+	"incremental-slide":   62536,
+	"search/TYCOS_L":      366422785,
+	"search/TYCOS_LMN":    92275012,
+	"ksg-window/m_32":     27031,
+	"ksg-window/m_128":    167175,
+	"ksg-window/m_512":    1162331,
+}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smoke run: only the per-estimate and slide workloads")
+		out   = flag.String("out", "BENCH_HOTPATH.json", "output file")
+	)
+	flag.Parse()
+
+	rep := report{
+		Benchmark: "tycosbench (MI hot path)",
+		Description: "Per-estimate KSG cost by backend (m=500, gaussian rho=0.6, k=4), " +
+			"steady-state incremental slide (w=500 over n=4000), per-window estimation at search sizes, " +
+			"and end-to-end Search per variant (synth.CorrelatedAR n=1200, SMin=10 SMax=150 TDMax=10, sigma=0.3, seed=1). " +
+			"allocs_per_op on the warm estimator paths is the tentpole guarantee: 0 for kdtree/brute Estimate and the incremental slide.",
+		Date: time.Now().Format("2006-01-02"),
+		Runner: runner{
+			CPU:        "see go test -bench output on this host",
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       "search workloads include trajectory work (windows evaluated), not just per-estimate cost",
+		},
+		Benchtime: "1s (testing.Benchmark default)",
+		Reproduce: "go run ./cmd/tycosbench -out BENCH_HOTPATH.json (per-workload equivalents: " +
+			"go test -bench BenchmarkKSGEstimate ./internal/mi; go test -bench 'KSGWindow|Fig9Variants' .)",
+	}
+
+	add := func(name string, r testing.BenchmarkResult, note string) {
+		res := result{
+			Workload:    name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+			Note:        note,
+		}
+		if base, ok := baselines[name]; ok && r.NsPerOp() > 0 {
+			res.SpeedupVsB = float64(base) / float64(r.NsPerOp())
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %8d B/op %6d allocs/op\n",
+			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	bench := func(f func(b *testing.B)) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+	}
+
+	// --- Per-estimate KSG cost by backend (warm estimator). ---
+	rng := rand.New(rand.NewSource(1))
+	m := 500
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 0.6*xs[i] + 0.8*rng.NormFloat64()
+	}
+	for _, backend := range []mi.Backend{mi.BackendKDTree, mi.BackendBrute, mi.BackendGrid} {
+		est := mi.NewKSG(4, backend)
+		if _, err := est.Estimate(xs, ys); err != nil {
+			fatal(err)
+		}
+		r := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(xs, ys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("ksg-estimate/"+backend.String(), r, "warm estimator, m=500")
+	}
+
+	// --- Steady-state incremental slide. ---
+	n := 4000
+	sx := make([]float64, n)
+	sy := make([]float64, n)
+	srng := rand.New(rand.NewSource(4))
+	for i := range sx {
+		sx[i] = srng.NormFloat64()
+		sy[i] = 0.6*sx[i] + 0.4*srng.NormFloat64()
+	}
+	w := 500
+	inc := mi.NewIncremental(4, 0.3)
+	for i := 0; i < w; i++ {
+		inc.Insert(i, sx[i], sy[i])
+	}
+	pos := 0
+	r := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pos+w+1 >= n {
+				ids := make([]int, w)
+				for j := range ids {
+					ids[j] = j
+				}
+				inc.Reload(ids, sx[:w], sy[:w])
+				pos = 0
+			}
+			inc.Remove(pos)
+			inc.Insert(pos+w, sx[pos+w], sy[pos+w])
+			if _, err := inc.MI(); err != nil {
+				b.Fatal(err)
+			}
+			pos++
+		}
+	})
+	add("incremental-slide", r, "remove+insert+MI, w=500")
+
+	// --- Per-window estimation at the sizes the search visits. ---
+	if !*quick {
+		runFull(bench, add)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", *out, len(rep.Results))
+}
+
+// runFull runs the cold-path and end-to-end workloads skipped by -quick.
+func runFull(bench func(func(b *testing.B)) testing.BenchmarkResult, add func(string, testing.BenchmarkResult, string)) {
+	comp, err := synth.CorrelatedAR(4096, 1, 512, 0, 1)
+	if err != nil {
+		fatal(err)
+	}
+	for _, wm := range []int{32, 128, 512} {
+		wx := comp.Pair.X.Values[:wm]
+		wy := comp.Pair.Y.Values[:wm]
+		r := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.EstimateMI(wx, wy, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(fmt.Sprintf("ksg-window/m_%d", wm), r, "fresh estimator per call (cold-path cost)")
+	}
+
+	// --- End-to-end search per variant. ---
+	scomp, err := synth.CorrelatedAR(1200, 2, 100, 10, 1)
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range []tycos.Variant{tycos.VariantL, tycos.VariantLMN} {
+		opts := tycos.Options{
+			SMin: 10, SMax: 150, TDMax: 10, Sigma: 0.3,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       v, Seed: 1,
+		}
+		res, err := tycos.Search(scomp.Pair, opts)
+		if err != nil {
+			fatal(err)
+		}
+		note := fmt.Sprintf("windows_evaluated=%d", res.Stats.WindowsEvaluated)
+		r := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.Search(scomp.Pair, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("search/"+v.String(), r, note)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tycosbench:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,11 @@ import (
 func main() {
 	rho := 0.8
 	truth := mi.GaussianMI(rho)
+	if math.IsInf(truth, 0) {
+		// |ρ| ≥ 1 has no finite MI; nothing meaningful to compare against.
+		fmt.Printf("bivariate Gaussian ρ=%.1f is degenerate (I = +Inf); pick |ρ| < 1\n", rho)
+		return
+	}
 	fmt.Printf("bivariate Gaussian ρ=%.1f: analytic I = %.4f nats\n\n", rho, truth)
 	fmt.Printf("%8s  %10s  %14s\n", "samples", "KSG", "histogram(FD)")
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"strings"
 	"sync"
@@ -22,15 +23,32 @@ func parallelTestOpts() Options {
 }
 
 // parallelTestPair embeds two correlated regions far apart so distinct
-// segments both produce candidates.
+// segments both produce candidates. Both couplings are written directly into
+// one noise pair (rather than mixing two single-region pairs, which dilutes
+// each region's correlation below what an unbiased estimator can separate
+// from noise).
 func parallelTestPair(n int) series.Pair {
-	p1 := testPair(11, n, 150, 230, 2)
-	p2 := testPair(12, n, n-300, n-220, -1)
+	rng := rand.New(rand.NewSource(11))
 	x := make([]float64, n)
 	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		x[i] = p1.X.Values[i] + 0.3*p2.X.Values[i]
-		y[i] = p1.Y.Values[i] + 0.3*p2.Y.Values[i]
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	// AR(1) drivers, as in TestSearchRecoversTimeDelay: autocorrelated
+	// signals give partial alignments partial MI, so the climb has a
+	// gradient toward the true non-zero delays.
+	ar := 0.0
+	for i := 150; i <= 230; i++ {
+		ar = 0.9*ar + rng.NormFloat64()
+		x[i] = ar
+		y[i+2] = x[i] + 0.1*rng.NormFloat64()
+	}
+	ar = 0.0
+	for i := n - 300; i <= n - 220; i++ {
+		ar = 0.9*ar + rng.NormFloat64()
+		x[i] = ar
+		y[i-1] = -x[i] + 0.1*rng.NormFloat64()
 	}
 	return series.MustPair(series.New("x", x), series.New("y", y))
 }

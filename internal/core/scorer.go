@@ -81,10 +81,10 @@ func (s *batchScorer) scoreNull(w window.Window, null *nullModel) (float64, floa
 		return 0, 0, err
 	}
 	s.nBatch++
+	// No floor at 0: near-unbiased KSG estimates on noise are slightly
+	// negative, and their ordering is the gradient texture the climb uses.
+	// The σ acceptance threshold keeps negative scores out of the results.
 	adj := raw - null.at(len(xs))
-	if adj < 0 {
-		adj = 0
-	}
 	return raw, mi.Normalize(adj, xs, ys, s.norm), nil
 }
 
@@ -120,6 +120,13 @@ type incScorer struct {
 	// cache (evicted or replaced), so counters() reports the whole search's
 	// point-level work, not just the survivors'.
 	retired mi.IncrementalOps
+
+	// pool recycles the estimators of dropped cache entries: a rebuild takes
+	// one from here and Reloads it — same counters and results as a fresh
+	// NewIncrementalBulk, but reusing the grid, multiset and point-state
+	// allocations. ids is the matching reusable id scratch.
+	pool []*mi.Incremental
+	ids  []int
 }
 
 // incState is one cached estimator and the window it is positioned at.
@@ -169,10 +176,9 @@ func (s *incScorer) scoreNull(w window.Window, null *nullModel) (float64, float6
 	if err != nil {
 		return 0, 0, err
 	}
+	// As in batchScorer.scoreNull: no floor at 0, the climb needs the
+	// ordering among near-zero scores.
 	adj := raw - null.at(w.Size())
-	if adj < 0 {
-		adj = 0
-	}
 	return raw, s.normalize(adj, w), nil
 }
 
@@ -186,9 +192,6 @@ func (s *incScorer) normalize(raw float64, w window.Window) float64 {
 			return 0
 		}
 		v := raw / math.Log(float64(m))
-		if v < 0 {
-			return 0
-		}
 		if v > 1 {
 			return 1
 		}
@@ -253,12 +256,14 @@ func (s *incScorer) rebuild(w window.Window) (*incState, error) {
 		return nil, err
 	}
 	// Points are keyed by their X index so same-delay moves can diff ranges.
-	ids := make([]int, w.Size())
-	for i := range ids {
-		ids[i] = w.Start + i
+	s.ids = s.ids[:0]
+	for i := 0; i < w.Size(); i++ {
+		s.ids = append(s.ids, w.Start+i)
 	}
-	fresh := mi.NewIncrementalBulk(s.k, s.cell, ids, xs, ys)
-	st := &incState{inc: fresh, cur: w, lastUse: s.tick}
+	// Free cache slots before taking an estimator, in the same order as the
+	// original always-fresh path (evict LRU, then retire the replaced entry):
+	// eviction order is observable through the event stream and counters, so
+	// pooling must not perturb it.
 	if len(s.states) >= maxIncStates {
 		s.evictLRU()
 	}
@@ -267,17 +272,28 @@ func (s *incScorer) rebuild(w window.Window) (*incState, error) {
 		// work on the books.
 		s.retire(old)
 	}
+	var inc *mi.Incremental
+	if n := len(s.pool); n > 0 {
+		inc = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		inc.Reload(s.ids, xs, ys)
+	} else {
+		inc = mi.NewIncrementalBulk(s.k, s.cell, s.ids, xs, ys)
+	}
+	st := &incState{inc: inc, cur: w, lastUse: s.tick}
 	s.states[w.Delay] = st
 	s.nBatch++
 	return st, nil
 }
 
-// retire folds a dropped estimator's op counters into the running totals.
+// retire folds a dropped estimator's op counters into the running totals and
+// returns its estimator to the pool for the next rebuild to Reload.
 func (s *incScorer) retire(st *incState) {
 	ops := st.inc.Ops()
 	s.retired.Inserts += ops.Inserts
 	s.retired.Removes += ops.Removes
 	s.retired.Refreshes += ops.Refreshes
+	s.pool = append(s.pool, st.inc)
 }
 
 // evictLRU drops the least recently used cached estimator. lastUse values

@@ -116,14 +116,17 @@ func TestBuildNullModelDecreasesWithSize(t *testing.T) {
 	if len(nm.sizes) < 3 {
 		t.Fatalf("too few calibration sizes: %v", nm.sizes)
 	}
-	// KSG spurious MI shrinks with sample count; the calibrated levels
-	// should broadly decrease.
+	// Under the ψ(n_x+1) convention the KSG estimator is near-unbiased on
+	// independent data, so null levels sit close to zero — often slightly
+	// below, since boundary effects at tiny m bias the estimate negative.
+	// What shrinks with sample count is the MAGNITUDE of the spurious level,
+	// not a positive bias as under the old inflated-count formula.
 	first, last := nm.levels[0], nm.levels[len(nm.levels)-1]
-	if last >= first {
-		t.Errorf("null level did not decrease: %v → %v (%v)", first, last, nm.levels)
+	if math.Abs(last) >= math.Abs(first) {
+		t.Errorf("null level magnitude did not shrink: %v → %v (%v)", first, last, nm.levels)
 	}
 	for _, l := range nm.levels {
-		if l < 0 || l > 3 {
+		if l < -1 || l > 1 {
 			t.Errorf("implausible null level %v", l)
 		}
 	}

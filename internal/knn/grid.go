@@ -21,6 +21,10 @@ type Grid struct {
 	cell  float64
 	cells map[[2]int32][]cellEntry
 	pts   map[int]Point
+	// free holds the emptied cell buckets of removed or Reset cells; Insert
+	// drains it before allocating, so a warm grid cycles points (and whole
+	// window reloads) without heap growth.
+	free [][]cellEntry
 	// Occupied-cell bounding box, maintained on insert (conservatively kept
 	// on remove). It bounds the ring search in O(1) instead of scanning the
 	// cell map per query.
@@ -46,8 +50,15 @@ func NewGrid(cellSize float64) *Grid {
 // sample of points and neighbour count k: roughly the spacing at which a
 // cell holds O(k) points, so ring searches terminate after a few rings.
 func NewGridFor(sample []Point, k int) *Grid {
+	return NewGrid(GridCellFor(sample, k))
+}
+
+// GridCellFor returns the cell size NewGridFor would tune for the sample —
+// exposed so callers that Reset a warm grid can re-derive the same tuning
+// without constructing a throwaway instance.
+func GridCellFor(sample []Point, k int) float64 {
 	if len(sample) == 0 {
-		return NewGrid(1)
+		return 1
 	}
 	minX, maxX := math.Inf(1), math.Inf(-1)
 	minY, maxY := math.Inf(1), math.Inf(-1)
@@ -59,7 +70,7 @@ func NewGridFor(sample []Point, k int) *Grid {
 	}
 	span := math.Max(maxX-minX, maxY-minY)
 	if span <= 0 {
-		return NewGrid(1)
+		return 1
 	}
 	if k < 1 {
 		k = 1
@@ -69,7 +80,29 @@ func NewGridFor(sample []Point, k int) *Grid {
 	if cellsPerAxis < 1 {
 		cellsPerAxis = 1
 	}
-	return NewGrid(span / cellsPerAxis)
+	return span / cellsPerAxis
+}
+
+// Cell returns the grid's cell size.
+func (g *Grid) Cell() float64 { return g.cell }
+
+// Reset empties the grid in place and adopts the given cell size (values
+// that NewGrid would reject fall back to 1 the same way). The cell map, its
+// buckets and the point map keep their capacity: a warm grid refills a
+// comparable point set without heap allocation, which is what lets the KSG
+// grid backend and the incremental estimator reload whole windows for free.
+func (g *Grid) Reset(cellSize float64) {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		cellSize = 1
+	}
+	g.cell = cellSize
+	//lint:allow nodeterm drain order only permutes interchangeable empty buckets in the free list; contents and counts are unaffected
+	for key, bucket := range g.cells {
+		g.free = append(g.free, bucket[:0])
+		delete(g.cells, key)
+	}
+	clear(g.pts)
+	g.boundsValid = false
 }
 
 // Len returns the number of points currently in the grid.
@@ -93,7 +126,12 @@ func (g *Grid) Insert(id int, p Point) {
 	}
 	g.pts[id] = p
 	k := g.key(p)
-	g.cells[k] = append(g.cells[k], cellEntry{id: id, p: p})
+	bucket, ok := g.cells[k]
+	if !ok && len(g.free) > 0 {
+		bucket = g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+	}
+	g.cells[k] = append(bucket, cellEntry{id: id, p: p})
 	if !g.boundsValid {
 		g.minCx, g.maxCx, g.minCy, g.maxCy = k[0], k[0], k[1], k[1]
 		g.boundsValid = true
@@ -137,6 +175,7 @@ func (g *Grid) removeFromCell(k [2]int32, id int) {
 		}
 	}
 	if len(bucket) == 0 {
+		g.free = append(g.free, bucket)
 		delete(g.cells, k)
 	} else {
 		g.cells[k] = bucket

@@ -1,13 +1,21 @@
 package knn
 
-import "sort"
-
-// KDTree is a static 2-d tree over a point set, built once in O(n log n) and
-// answering kNN queries in O(k log n) expected time. It is the default
-// backend for batch KSG estimation.
+// KDTree is a static 2-d tree over a point set, built in O(n log n) expected
+// time and answering kNN queries in O(k log n) expected time. It is the
+// default backend for batch KSG estimation.
+//
+// A tree is rebuilt in place with Reset, which reuses the node arena and the
+// build scratch of earlier builds — the KSG hot path rebuilds one tree per
+// window and must not allocate in steady state.
+//
+// The build partitions under the total order (axis coordinate, point index),
+// so the tree shape — and with it every query answer — is a pure function of
+// the point set, independent of the partitioning algorithm and of the
+// insertion history of equal coordinates.
 type KDTree struct {
 	pts   []Point
 	nodes []kdNode
+	idx   []int // build scratch, retained across Reset for reuse
 	root  int
 }
 
@@ -20,17 +28,32 @@ type kdNode struct {
 // NewKDTree builds a balanced 2-d tree over pts. The slice is not copied;
 // the tree references points by their index in pts.
 func NewKDTree(pts []Point) *KDTree {
-	t := &KDTree{pts: pts, root: -1}
-	if len(pts) == 0 {
-		return t
-	}
-	idx := make([]int, len(pts))
-	for i := range idx {
-		idx[i] = i
-	}
-	t.nodes = make([]kdNode, 0, len(pts))
-	t.root = t.build(idx, 0)
+	t := &KDTree{root: -1}
+	t.Reset(pts)
 	return t
+}
+
+// Reset rebuilds the tree over pts in place. The node arena and build
+// scratch are reused, so a warm tree rebuilds with zero heap allocations
+// whenever pts is no larger than any earlier point set.
+func (t *KDTree) Reset(pts []Point) {
+	t.pts = pts
+	t.nodes = t.nodes[:0]
+	t.root = -1
+	if len(pts) == 0 {
+		return
+	}
+	if cap(t.idx) < len(pts) {
+		t.idx = make([]int, len(pts))
+	}
+	t.idx = t.idx[:len(pts)]
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	if cap(t.nodes) < len(pts) {
+		t.nodes = make([]kdNode, 0, len(pts))
+	}
+	t.root = t.build(t.idx, 0)
 }
 
 func (t *KDTree) build(idx []int, depth int) int {
@@ -38,13 +61,10 @@ func (t *KDTree) build(idx []int, depth int) int {
 		return -1
 	}
 	axis := depth % 2
-	sort.Slice(idx, func(a, b int) bool {
-		if axis == 0 {
-			return t.pts[idx[a]].X < t.pts[idx[b]].X
-		}
-		return t.pts[idx[a]].Y < t.pts[idx[b]].Y
-	})
 	mid := len(idx) / 2
+	// Median selection (not a full sort) is all a k-d tree build needs: the
+	// subtree point sets are determined by the partition alone.
+	t.selectMedian(idx, mid, axis)
 	node := kdNode{point: idx[mid], axis: axis}
 	id := len(t.nodes)
 	t.nodes = append(t.nodes, node)
@@ -55,17 +75,99 @@ func (t *KDTree) build(idx []int, depth int) int {
 	return id
 }
 
+// axisLess orders point indices by their coordinate on the given axis with
+// the index as tie-break — a strict total order, so partitioning yields the
+// same median element as a full stable sort would.
+func (t *KDTree) axisLess(a, b, axis int) bool {
+	var va, vb float64
+	if axis == 0 {
+		va, vb = t.pts[a].X, t.pts[b].X
+	} else {
+		va, vb = t.pts[a].Y, t.pts[b].Y
+	}
+	//lint:allow floateq exact compare feeds the index tie-break: a tolerant compare would break the strict total order the deterministic build relies on
+	if va != vb {
+		return va < vb
+	}
+	return a < b
+}
+
+// selectMedian rearranges idx so idx[mid] holds the element a full sort
+// under axisLess would place there, with smaller elements before it and
+// larger ones after — an in-place quickselect with median-of-three pivots
+// and an insertion-sort base case, free of heap allocation.
+func (t *KDTree) selectMedian(idx []int, mid, axis int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			t.insertionSort(idx, lo, hi, axis)
+			return
+		}
+		p := t.partition(idx, lo, hi, axis)
+		switch {
+		case p == mid:
+			return
+		case mid < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+// partition picks a median-of-three pivot from idx[lo..hi], partitions the
+// range around it, and returns the pivot's final position.
+func (t *KDTree) partition(idx []int, lo, hi, axis int) int {
+	m := lo + (hi-lo)/2
+	if t.axisLess(idx[m], idx[lo], axis) {
+		idx[m], idx[lo] = idx[lo], idx[m]
+	}
+	if t.axisLess(idx[hi], idx[lo], axis) {
+		idx[hi], idx[lo] = idx[lo], idx[hi]
+	}
+	if t.axisLess(idx[hi], idx[m], axis) {
+		idx[hi], idx[m] = idx[m], idx[hi]
+	}
+	idx[m], idx[hi-1] = idx[hi-1], idx[m]
+	pivot := idx[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if t.axisLess(idx[j], pivot, axis) {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+		}
+	}
+	idx[i], idx[hi-1] = idx[hi-1], idx[i]
+	return i
+}
+
+// insertionSort fully orders idx[lo..hi] under axisLess (inclusive bounds).
+func (t *KDTree) insertionSort(idx []int, lo, hi, axis int) {
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && t.axisLess(idx[j], idx[j-1], axis); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
 // Len returns the number of indexed points.
 func (t *KDTree) Len() int { return len(t.pts) }
 
 // KNearest implements Index.
 func (t *KDTree) KNearest(q Point, k, exclude int) []Neighbor {
+	return t.KNearestInto(q, k, exclude, nil)
+}
+
+// KNearestInto is KNearest reusing buf's backing array for the result,
+// letting hot loops run allocation-free.
+func (t *KDTree) KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor {
 	if k <= 0 || t.root < 0 {
 		return nil
 	}
-	h := make(maxHeap, 0, k)
+	h := maxHeap(buf[:0])
 	t.search(t.root, q, k, exclude, &h)
-	return h.sorted()
+	h.sortInPlace()
+	return h
 }
 
 func (t *KDTree) search(id int, q Point, k, exclude int, h *maxHeap) {

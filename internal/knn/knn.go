@@ -8,10 +8,7 @@
 // estimator (paper footnote 1).
 package knn
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Point is a sample (x_i, y_i) of the joint space of a window.
 type Point struct {
@@ -38,16 +35,37 @@ type Neighbor struct {
 // Index is the interface shared by the kNN backends. KNearest returns the k
 // nearest points to q under the L∞ metric, sorted by ascending distance,
 // excluding the point with index exclude (pass −1 to exclude nothing). When
-// fewer than k other points exist, all of them are returned.
+// fewer than k other points exist, all of them are returned. KNearestInto is
+// KNearest reusing buf's backing array for the result, so hot loops run
+// allocation-free; the returned slice aliases buf when it has capacity.
+//
+// Ties at the k-th distance are broken by ascending point index, so the
+// selected neighbour SET — not just its distances — is identical across
+// backends and candidate visit orders. The KSG estimator projects the
+// selected set onto each axis; without a total order, tied data could yield
+// backend-dependent marginal radii and with them backend-dependent MI.
 type Index interface {
 	KNearest(q Point, k, exclude int) []Neighbor
+	KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor
 	Len() int
 }
 
-// maxHeap is a bounded max-heap over Neighbor distances used to keep the k
-// best candidates during a query.
+// neighborLess is the strict total order (distance, index) that all backends
+// keep their k best candidates under.
+func neighborLess(a, b Neighbor) bool {
+	//lint:allow floateq exact compare feeds the index tie-break: a tolerant compare would make the order intransitive
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Index < b.Index
+}
+
+// maxHeap is a bounded max-heap over the (distance, index) total order used
+// to keep the k best candidates during a query.
 type maxHeap []Neighbor
 
+// worst returns the largest distance currently kept; the heap root is the
+// maximum under (distance, index), so its distance is the maximum distance.
 func (h maxHeap) worst() float64 { return h[0].Dist }
 
 func (h *maxHeap) push(n Neighbor, k int) {
@@ -56,7 +74,7 @@ func (h *maxHeap) push(n Neighbor, k int) {
 		i := len(*h) - 1
 		for i > 0 {
 			parent := (i - 1) / 2
-			if (*h)[parent].Dist >= (*h)[i].Dist {
+			if !neighborLess((*h)[parent], (*h)[i]) {
 				break
 			}
 			(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
@@ -64,7 +82,7 @@ func (h *maxHeap) push(n Neighbor, k int) {
 		}
 		return
 	}
-	if n.Dist >= (*h)[0].Dist {
+	if !neighborLess(n, (*h)[0]) {
 		return
 	}
 	(*h)[0] = n
@@ -72,10 +90,10 @@ func (h *maxHeap) push(n Neighbor, k int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < len(*h) && (*h)[l].Dist > (*h)[largest].Dist {
+		if l < len(*h) && neighborLess((*h)[largest], (*h)[l]) {
 			largest = l
 		}
-		if r < len(*h) && (*h)[r].Dist > (*h)[largest].Dist {
+		if r < len(*h) && neighborLess((*h)[largest], (*h)[r]) {
 			largest = r
 		}
 		if largest == i {
@@ -86,22 +104,16 @@ func (h *maxHeap) push(n Neighbor, k int) {
 	}
 }
 
-func (h maxHeap) sorted() []Neighbor {
-	out := make([]Neighbor, len(h))
-	copy(out, h)
-	maxHeap(out).sortInPlace()
-	return out
-}
-
-// sortInPlace orders the heap contents by ascending distance (ties by id).
+// sortInPlace orders the heap contents by ascending (distance, index). The
+// slice holds at most k elements and k is single-digit in practice, so an
+// insertion sort wins — and unlike sort.Slice it does not allocate, which
+// matters because every kNN query in the KSG hot loop ends here.
 func (h maxHeap) sortInPlace() {
-	sort.Slice(h, func(i, j int) bool {
-		//lint:allow floateq exact compare is required: a tolerant tie-break would make the sort order intransitive
-		if h[i].Dist != h[j].Dist {
-			return h[i].Dist < h[j].Dist
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0 && neighborLess(h[j], h[j-1]); j-- {
+			h[j], h[j-1] = h[j-1], h[j]
 		}
-		return h[i].Index < h[j].Index
-	})
+	}
 }
 
 // Brute is the O(n) linear-scan backend. It is the reference implementation
@@ -113,22 +125,31 @@ type Brute struct {
 // NewBrute returns a brute-force index over pts. The slice is not copied.
 func NewBrute(pts []Point) *Brute { return &Brute{pts: pts} }
 
+// Reset repoints the index at a new point set. The slice is not copied.
+func (b *Brute) Reset(pts []Point) { b.pts = pts }
+
 // Len returns the number of indexed points.
 func (b *Brute) Len() int { return len(b.pts) }
 
 // KNearest implements Index by scanning every point.
 func (b *Brute) KNearest(q Point, k, exclude int) []Neighbor {
+	return b.KNearestInto(q, k, exclude, nil)
+}
+
+// KNearestInto implements Index.
+func (b *Brute) KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	h := make(maxHeap, 0, k)
+	h := maxHeap(buf[:0])
 	for i, p := range b.pts {
 		if i == exclude {
 			continue
 		}
 		h.push(Neighbor{Index: i, Dist: Chebyshev(q, p)}, k)
 	}
-	return h.sorted()
+	h.sortInPlace()
+	return h
 }
 
 // CountWithinX returns the number of points with |x − qx| ≤ d, excluding the

@@ -1,6 +1,9 @@
 package knn
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // OrderedMultiset is a sorted multiset of float64 values supporting
 // logarithmic interval counting and linear-shift insert/remove. The KSG
@@ -12,10 +15,18 @@ type OrderedMultiset struct {
 
 // NewOrderedMultiset returns a multiset pre-populated with vals.
 func NewOrderedMultiset(vals []float64) *OrderedMultiset {
-	m := &OrderedMultiset{vals: make([]float64, len(vals))}
-	copy(m.vals, vals)
-	sort.Float64s(m.vals)
+	m := &OrderedMultiset{}
+	m.Reset(vals)
 	return m
+}
+
+// Reset replaces the contents with vals in place, reusing the backing array
+// (and allocating nothing when it already has capacity). slices.Sort is the
+// generic in-place pdqsort — unlike the sort.Interface path it does not
+// allocate, which keeps the KSG marginal rebuild off the heap.
+func (m *OrderedMultiset) Reset(vals []float64) {
+	m.vals = append(m.vals[:0], vals...)
+	slices.Sort(m.vals)
 }
 
 // Len returns the number of stored values (with multiplicity).

@@ -15,9 +15,19 @@ import (
 //	Ĥ = −ψ(k) + ψ(n) + log(2) + (1/n)·Σ log ε_i
 //
 // where ε_i is the distance from v[i] to its k-th nearest neighbour.
-// Duplicated samples (ε = 0) are floored to keep the sum finite; heavy
-// duplication biases the estimate downwards, as it does for every kNN
-// entropy estimator.
+//
+// Tied samples need care: a point whose k-th neighbour sits at distance
+// zero contributes log 0 = −∞. Instead of flooring ε to an arbitrary
+// constant — which silently injects a magic scale (log 1e-12 ≈ −27.6 nats
+// per tied point) that swamps the estimate as soon as a few ties appear —
+// zero-distance points are excluded from the average and the sum is
+// renormalized over the points that do contribute, the standard practical
+// treatment for the KL estimator on weakly-tied data. When every point is
+// tied (a constant or few-valued series has no continuous density), the
+// estimator returns −Inf: the differential entropy of a distribution with
+// atoms genuinely diverges to −∞, and callers can detect the degenerate
+// window with math.IsInf instead of receiving a plausible-looking finite
+// number.
 func KLEntropy(v []float64, k int) (float64, error) {
 	n := len(v)
 	if k < 1 {
@@ -29,19 +39,26 @@ func KLEntropy(v []float64, k int) (float64, error) {
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)
 	var sumLog float64
+	contributing := 0
 	for i := 0; i < n; i++ {
 		eps := kthDistance1D(s, v[i], k)
 		if eps <= 0 {
-			eps = 1e-12
+			continue
 		}
 		sumLog += math.Log(eps)
+		contributing++
 	}
-	return -mathx.DigammaInt(k) + mathx.Digamma(float64(n)) + math.Ln2 + sumLog/float64(n), nil
+	if contributing == 0 {
+		return math.Inf(-1), nil
+	}
+	return -mathx.DigammaInt(k) + mathx.Digamma(float64(n)) + math.Ln2 + sumLog/float64(contributing), nil
 }
 
 // KLJointEntropy estimates the differential entropy (nats) of the 2-D sample
 // (x, y) with the Kozachenko–Leonenko estimator under L∞ (unit-ball volume
-// log 4 in two dimensions).
+// log 4 in two dimensions). Zero-distance (duplicated) points are handled as
+// in KLEntropy: excluded from the average, with −Inf returned when every
+// point is a duplicate.
 func KLJointEntropy(x, y []float64, k int) (float64, error) {
 	if err := checkPair(x, y); err != nil {
 		return 0, err
@@ -59,15 +76,20 @@ func KLJointEntropy(x, y []float64, k int) (float64, error) {
 	}
 	tree := knn.NewKDTree(pts)
 	var sumLog float64
+	contributing := 0
 	for i := 0; i < n; i++ {
 		nn := tree.KNearest(pts[i], k, i)
 		eps := nn[len(nn)-1].Dist
 		if eps <= 0 {
-			eps = 1e-12
+			continue
 		}
 		sumLog += math.Log(eps)
+		contributing++
 	}
-	return -mathx.DigammaInt(k) + mathx.Digamma(float64(n)) + math.Log(4) + 2*sumLog/float64(n), nil
+	if contributing == 0 {
+		return math.Inf(-1), nil
+	}
+	return -mathx.DigammaInt(k) + mathx.Digamma(float64(n)) + math.Log(4) + 2*sumLog/float64(contributing), nil
 }
 
 // kthDistance1D returns the distance from q to its k-th nearest neighbour in

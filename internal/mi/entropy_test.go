@@ -90,17 +90,70 @@ func TestEntropyErrors(t *testing.T) {
 }
 
 func TestKLEntropyDuplicates(t *testing.T) {
-	// Heavily tied data must not produce -Inf or NaN.
+	// A constant series has no continuous density: every ε is zero and the
+	// estimator must report the divergence as −Inf, not NaN and not a finite
+	// value manufactured by flooring log 0.
+	constant := make([]float64, 50)
+	h, err := KLEntropy(constant, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(h, -1) {
+		t.Errorf("entropy of constant series = %v, want -Inf", h)
+	}
+
+	// A few-valued series where every point has ≥ k ties at distance zero is
+	// equally degenerate (100 samples over 3 values, k=4: each value appears
+	// 33–34 times, so the 4th neighbour is always a tie).
 	v := make([]float64, 100)
 	for i := range v {
 		v[i] = float64(i % 3)
 	}
-	h, err := KLEntropy(v, 4)
+	h, err = KLEntropy(v, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.IsNaN(h) || math.IsInf(h, 0) {
-		t.Errorf("entropy of tied data = %v", h)
+	if !math.IsInf(h, -1) {
+		t.Errorf("entropy of 3-valued series = %v, want -Inf", h)
+	}
+
+	// Partially tied data: a continuous sample with a handful of exact
+	// duplicates spliced in. The tied points are excluded from the average,
+	// so the estimate must stay finite and close to the untied estimate
+	// instead of being dragged toward −∞ by floored log 0 terms.
+	rng := rand.New(rand.NewSource(41))
+	clean := make([]float64, 2000)
+	for i := range clean {
+		clean[i] = rng.Float64()
+	}
+	hClean, err := KLEntropy(clean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append([]float64(nil), clean...)
+	for i := 0; i < 40; i++ { // 8 clusters × 5 copies: every cluster member's ε=0 at k=4
+		mixed = append(mixed, clean[i%8])
+	}
+	hMixed, err := KLEntropy(mixed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(hMixed) || math.IsInf(hMixed, 0) {
+		t.Fatalf("entropy of mixed data = %v, want finite", hMixed)
+	}
+	if math.Abs(hMixed-hClean) > 0.1 {
+		t.Errorf("mixed entropy %.4f strays from clean %.4f by more than 0.1", hMixed, hClean)
+	}
+
+	// Same contract for the joint estimator.
+	cx := make([]float64, 50)
+	cy := make([]float64, 50)
+	hj, err := KLJointEntropy(cx, cy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(hj, -1) {
+		t.Errorf("joint entropy of constant pair = %v, want -Inf", hj)
 	}
 }
 

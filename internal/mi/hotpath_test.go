@@ -1,0 +1,298 @@
+package mi
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKSGEstimateAllocs pins the tentpole guarantee: after the first call
+// warms the per-estimator scratch, KSG.Estimate runs allocation-free on the
+// kd-tree and brute backends. The grid backend keeps map-backed state whose
+// delete/reinsert cycles occasionally allocate internally; its budget is
+// pinned rather than zero.
+func TestKSGEstimateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := gaussianPair(rng, 500, 0.6)
+	for _, tc := range []struct {
+		backend Backend
+		budget  float64
+	}{
+		{BackendKDTree, 0},
+		{BackendBrute, 0},
+		{BackendGrid, 2}, // map-internal churn, see TestResetAllocs in knn
+	} {
+		est := NewKSG(4, tc.backend)
+		for warm := 0; warm < 16; warm++ {
+			if _, err := est.Estimate(x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := testing.AllocsPerRun(10, func() {
+			if _, err := est.Estimate(x, y); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > tc.budget {
+			t.Errorf("%s: Estimate allocates %v/op steady-state, budget %v", tc.backend, got, tc.budget)
+		}
+	}
+}
+
+// TestIncrementalSlideAllocs pins the steady-state sliding cost: once the
+// point-state pool and scratch are warm, a remove+insert+MI step stays off
+// the heap.
+func TestIncrementalSlideAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, w := 3000, 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.6*x[i] + 0.4*rng.NormFloat64()
+	}
+	inc := NewIncremental(4, 0.3)
+	for i := 0; i < w; i++ {
+		inc.Insert(i, x[i], y[i])
+	}
+	pos := 0
+	slide := func() {
+		inc.Remove(pos)
+		inc.Insert(pos+w, x[pos+w], y[pos+w])
+		if _, err := inc.MI(); err != nil {
+			t.Fatal(err)
+		}
+		pos++
+	}
+	for warm := 0; warm < 200; warm++ {
+		slide()
+	}
+	// Pinned budget ≤1: the ordered-multiset Insert and the grid's cell map
+	// are warm, but map-internal churn can surface an occasional allocation.
+	if got := testing.AllocsPerRun(100, slide); got > 1 {
+		t.Errorf("steady-state slide allocates %v/op, want ≤1", got)
+	}
+}
+
+// TestIncrementalReloadAllocs pins the warm whole-window Reload: repositioning
+// an estimator on a same-sized window reuses the grid, multisets, id list and
+// pooled point states.
+func TestIncrementalReloadAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := 300
+	ids := make([]int, m)
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	fill := func(base int) {
+		for i := 0; i < m; i++ {
+			ids[i] = base + i
+			xs[i] = rng.NormFloat64()
+			ys[i] = 0.5*xs[i] + 0.5*rng.NormFloat64()
+		}
+	}
+	fill(0)
+	inc := NewIncrementalBulk(4, 0.3, ids, xs, ys)
+	for warm := 0; warm < 16; warm++ {
+		fill(warm * m)
+		inc.Reload(ids, xs, ys)
+	}
+	got := testing.AllocsPerRun(10, func() {
+		inc.Reload(ids, xs, ys)
+		if _, err := inc.MI(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Same pinned map-churn budget as the grid backend.
+	if got > 2 {
+		t.Errorf("warm Reload allocates %v/op, want ≤2", got)
+	}
+}
+
+// TestBatchIncrementalAgreeOnTies is the formula-alignment regression test:
+// the batch and incremental estimators must agree to 1e-9 under the shared
+// ψ(n_x+1) convention — on continuous data AND on data with heavy coordinate
+// ties, where any divergence in marginal-count or tie-break conventions
+// surfaces immediately.
+func TestBatchIncrementalAgreeOnTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := map[string]func(i int) (float64, float64){
+		"continuous": func(int) (float64, float64) {
+			x := rng.NormFloat64()
+			return x, 0.7*x + 0.3*rng.NormFloat64()
+		},
+		"quantized": func(int) (float64, float64) {
+			// Few-valued coordinates: ties in both marginals and in joint
+			// distances on almost every query.
+			return float64(rng.Intn(6)), float64(rng.Intn(6))
+		},
+		"mixed": func(i int) (float64, float64) {
+			if i%3 == 0 {
+				return float64(i % 5), float64(i % 4)
+			}
+			return rng.NormFloat64(), rng.NormFloat64()
+		},
+	}
+	for name, gen := range cases {
+		const m = 250
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		ids := make([]int, m)
+		for i := 0; i < m; i++ {
+			xs[i], ys[i] = gen(i)
+			ids[i] = i
+		}
+		for _, backend := range []Backend{BackendKDTree, BackendBrute, BackendGrid} {
+			batch, err := NewKSG(4, backend).Estimate(xs, ys)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, backend, err)
+			}
+			inc := NewIncrementalBulk(4, 0.5, ids, xs, ys)
+			incremental, err := inc.MI()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if math.Abs(batch-incremental) > 1e-9 {
+				t.Errorf("%s/%s: batch %.12f vs incremental %.12f (Δ %.3g)",
+					name, backend, batch, incremental, math.Abs(batch-incremental))
+			}
+		}
+	}
+}
+
+// TestGaussianMIPerfectCorrelation pins the |ρ| ≥ 1 contract: +Inf, never a
+// log(0) leak or NaN.
+func TestGaussianMIPerfectCorrelation(t *testing.T) {
+	for _, rho := range []float64{1, -1, 1.5, -2} {
+		if got := GaussianMI(rho); !math.IsInf(got, 1) {
+			t.Errorf("GaussianMI(%v) = %v, want +Inf", rho, got)
+		}
+	}
+	if got := GaussianMI(0); got != 0 {
+		t.Errorf("GaussianMI(0) = %v, want 0", got)
+	}
+	if got := GaussianMI(0.5); math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Errorf("GaussianMI(0.5) = %v, want finite positive", got)
+	}
+}
+
+// TestEstimatesCounterConsistency pins the success-only counter semantics
+// shared by the batch and incremental estimators, and Reload's fresh-start
+// reset.
+func TestEstimatesCounterConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	x, y := gaussianPair(rng, 64, 0.5)
+
+	est := NewKSG(4, BackendKDTree)
+	if _, err := est.Estimate(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Estimate(x[:2], y[:2]); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("expected ErrTooFewSamples, got %v", err)
+	}
+	if est.Estimates() != 1 {
+		t.Errorf("KSG.Estimates = %d after 1 success + 1 failure, want 1", est.Estimates())
+	}
+
+	ids := make([]int, len(x))
+	for i := range ids {
+		ids[i] = i
+	}
+	inc := NewIncrementalBulk(4, 0.5, ids, x, y)
+	if inc.Estimates() != 0 {
+		t.Errorf("fresh Incremental.Estimates = %d, want 0", inc.Estimates())
+	}
+	if _, err := inc.MI(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.MI(); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Estimates() != 2 {
+		t.Errorf("Incremental.Estimates = %d after 2 successes, want 2", inc.Estimates())
+	}
+	empty := NewIncremental(4, 0.5)
+	if _, err := empty.MI(); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("expected ErrTooFewSamples, got %v", err)
+	}
+	if empty.Estimates() != 0 {
+		t.Errorf("failed MI still counted: %d", empty.Estimates())
+	}
+	inc.Reload(ids, x, y)
+	if inc.Estimates() != 0 {
+		t.Errorf("Reload must reset Estimates, got %d", inc.Estimates())
+	}
+}
+
+// TestReloadMatchesBulk verifies a reused estimator Reloaded onto a window is
+// indistinguishable from a fresh bulk build: same MI to the last bit, same
+// op counters.
+func TestReloadMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	reused := NewIncremental(4, 0.5)
+	for round := 0; round < 10; round++ {
+		m := 30 + rng.Intn(200)
+		ids := make([]int, m)
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := 0; i < m; i++ {
+			ids[i] = round*1000 + i
+			xs[i] = rng.NormFloat64()
+			ys[i] = 0.4*xs[i] + 0.6*rng.NormFloat64()
+		}
+		fresh := NewIncrementalBulk(4, 0.5, ids, xs, ys)
+		reused.Reload(ids, xs, ys)
+		fm, ferr := fresh.MI()
+		rm, rerr := reused.MI()
+		if (ferr == nil) != (rerr == nil) {
+			t.Fatalf("round %d: error mismatch %v vs %v", round, ferr, rerr)
+		}
+		if fm != rm {
+			//lint:allow floateq bit-identity is the Reload contract
+			t.Errorf("round %d: fresh %.17g vs reloaded %.17g", round, fm, rm)
+		}
+		if fresh.Ops() != reused.Ops() {
+			t.Errorf("round %d: ops diverged: fresh %+v vs reloaded %+v", round, fresh.Ops(), reused.Ops())
+		}
+	}
+}
+
+// BenchmarkKSGEstimate is the canonical hot-path benchmark: one warm
+// estimator per backend, 500-sample windows — the workload tycosbench
+// records into BENCH_HOTPATH.json.
+func BenchmarkKSGEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := gaussianPair(rng, 500, 0.6)
+	for _, backend := range []Backend{BackendKDTree, BackendBrute, BackendGrid} {
+		est := NewKSG(4, backend)
+		b.Run(backend.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalReload measures the warm whole-window reposition that
+// the incremental scorer performs on every cache miss.
+func BenchmarkIncrementalReload(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := 500
+	ids := make([]int, m)
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ids[i] = i
+		xs[i] = rng.NormFloat64()
+		ys[i] = 0.6*xs[i] + 0.4*rng.NormFloat64()
+	}
+	inc := NewIncrementalBulk(4, 0.3, ids, xs, ys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.Reload(ids, xs, ys)
+	}
+}

@@ -46,8 +46,13 @@ type Incremental struct {
 	scratch []knn.Neighbor
 	// refreshBuf is reused for the per-update refresh candidate list.
 	refreshBuf []int
+	// statePool recycles pointState records freed by Remove and Reload, so
+	// steady-state sliding (remove+insert pairs) and whole-window reloads
+	// stay off the heap.
+	statePool []*pointState
 
-	ops IncrementalOps
+	ops       IncrementalOps
+	estimates int
 }
 
 // IncrementalOps counts the point-level work an Incremental has performed.
@@ -70,7 +75,11 @@ type pointState struct {
 	p      knn.Point
 	dx, dy float64 // IMR half-widths (per-dimension kth-NN projections)
 	d      float64 // IR half-width = L∞ distance to the k-th neighbour
-	nx, ny int     // marginal counts (excluding the point itself)
+	// nx, ny are the closed-interval marginal counts INCLUDING the point
+	// itself — Kraskov's n_x+1, the digamma argument of the ψ(n_x+1)
+	// convention shared with the batch estimator. Always ≥ 1 (the point's
+	// own coordinate is inside any interval of half-width ≥ 0).
+	nx, ny int
 }
 
 func (s *pointState) digammas() float64 {
@@ -134,17 +143,52 @@ func NewIncrementalFrom(x, y []float64, k int) (*Incremental, error) {
 // at a whole new window.
 func NewIncrementalBulk(k int, cellSize float64, ids []int, xs, ys []float64) *Incremental {
 	inc := NewIncremental(k, cellSize)
+	inc.Reload(ids, xs, ys)
+	return inc
+}
+
+// Reload repositions the estimator at a whole new window in place,
+// discarding all maintained points and bulk-loading the given samples
+// exactly as NewIncrementalBulk would — same one-pass state computation,
+// same counter semantics (Ops and Estimates restart from zero, as on a
+// fresh estimator). Unlike a fresh build it keeps the grid, the marginal
+// multisets, the id list and the pointState records, so a warm estimator
+// reloads a comparable window without heap allocation. The grid cell size
+// is retained.
+func (inc *Incremental) Reload(ids []int, xs, ys []float64) {
+	inc.grid.Reset(inc.grid.Cell())
+	//lint:allow nodeterm drain order only permutes interchangeable freed records in the pool; the map ends empty either way
+	for id, st := range inc.state {
+		inc.statePool = append(inc.statePool, st)
+		delete(inc.state, id)
+	}
+	inc.ids = inc.ids[:0]
+	inc.ops = IncrementalOps{}
+	inc.estimates = 0
 	for i, id := range ids {
 		o := knn.Point{X: xs[i], Y: ys[i]}
 		inc.ops.Inserts++
 		inc.grid.Insert(id, o)
-		inc.xs.Insert(xs[i])
-		inc.ys.Insert(ys[i])
-		inc.state[id] = &pointState{p: o}
-		inc.insertID(id)
+		inc.state[id] = inc.takeState(o)
+		inc.ids = append(inc.ids, id)
 	}
+	// Bulk Reset sorts once; the result is identical to element-wise Insert.
+	inc.xs.Reset(xs)
+	inc.ys.Reset(ys)
+	sort.Ints(inc.ids)
 	inc.rebuildAll()
-	return inc
+}
+
+// takeState returns a zeroed pointState positioned at o, recycling a pooled
+// record when one is available.
+func (inc *Incremental) takeState(o knn.Point) *pointState {
+	if n := len(inc.statePool); n > 0 {
+		st := inc.statePool[n-1]
+		inc.statePool = inc.statePool[:n-1]
+		*st = pointState{p: o}
+		return st
+	}
+	return &pointState{p: o}
 }
 
 // insertID adds id to the sorted id list.
@@ -195,7 +239,7 @@ func (inc *Incremental) Insert(id int, x, y float64) {
 	inc.grid.Insert(id, o)
 	inc.xs.Insert(x)
 	inc.ys.Insert(y)
-	st := &pointState{p: o}
+	st := inc.takeState(o)
 	inc.state[id] = st
 	inc.insertID(id)
 
@@ -223,6 +267,7 @@ func (inc *Incremental) Remove(id int) bool {
 	inc.xs.Remove(o.X)
 	inc.ys.Remove(o.Y)
 	delete(inc.state, id)
+	inc.statePool = append(inc.statePool, st)
 	inc.removeID(id)
 
 	if !valid || len(inc.state) <= inc.k {
@@ -251,6 +296,10 @@ func (inc *Incremental) classify(o knn.Point, sign int) []int {
 			refresh = append(refresh, pid)
 			continue
 		}
+		// The counts track other points entering/leaving the IMR intervals;
+		// the floor preserves the self-inclusion invariant (nx, ny ≥ 1)
+		// defensively — in exact arithmetic the point's own coordinate never
+		// leaves its interval.
 		if math.Abs(o.X-st.p.X) <= st.dx {
 			st.nx += sign
 			if st.nx < 1 {
@@ -293,15 +342,10 @@ func (inc *Incremental) computePoint(id int, st *pointState) {
 		}
 	}
 	st.dx, st.dy, st.d = dx, dy, d
-	nx := inc.xs.CountWithin(st.p.X, dx) - 1
-	ny := inc.ys.CountWithin(st.p.Y, dy) - 1
-	if nx < 1 {
-		nx = 1
-	}
-	if ny < 1 {
-		ny = 1
-	}
-	st.nx, st.ny = nx, ny
+	// The interval counts include the point's own coordinate, so they are
+	// Kraskov's n_x+1 / n_y+1 directly — at least 1 by construction.
+	st.nx = inc.xs.CountWithin(st.p.X, dx)
+	st.ny = inc.ys.CountWithin(st.p.Y, dy)
 }
 
 // rebuildAll recomputes every point's state from scratch. Called when the
@@ -331,5 +375,11 @@ func (inc *Incremental) MI() (float64, error) {
 		digammaSum += inc.state[id].digammas()
 	}
 	k := float64(inc.k)
+	inc.estimates++
 	return mathx.DigammaInt(inc.k) - 1/k - digammaSum/float64(m) + mathx.Digamma(float64(m)), nil
 }
+
+// Estimates returns the number of successful MI evaluations since
+// construction or the last Reload — the same success-only semantics as
+// KSG.Estimates (calls that return ErrTooFewSamples are not counted).
+func (inc *Incremental) Estimates() int { return inc.estimates }

@@ -40,16 +40,35 @@ func (b Backend) String() string {
 // k-th nearest neighbour under L∞ is projected on each axis, the marginal
 // neighbour counts n_x, n_y within those projections are taken, and
 //
-//	I = ψ(k) − 1/k − ⟨ψ(n_x) + ψ(n_y)⟩ + ψ(m).
+//	I = ψ(k) − 1/k − ⟨ψ(n_x+1) + ψ(n_y+1)⟩ + ψ(m),
+//
+// where n_x, n_y count the OTHER samples inside the closed marginal
+// intervals — the +1 is the sample itself, following Kraskov et al.'s
+// ψ(n_x+1) convention. Computationally the interval count over the full
+// multiset already includes the query's own coordinate, so ψ is evaluated
+// directly on that count: always ≥ 1, with no clamp and no silent deviation
+// on tied or degenerate data.
 //
 // The zero value is not usable; construct with NewKSG.
 //
-// A KSG carries a work counter (Estimates) and is therefore not safe for
-// concurrent use; every searcher owns its own instance.
+// A KSG carries a work counter (Estimates) and per-instance reusable scratch
+// (the point buffer, k-NN index arena and ordered-multiset backing arrays
+// persist across Estimate calls, making the steady state allocation-free).
+// It is therefore not safe for concurrent use; every searcher owns its own
+// instance.
 type KSG struct {
 	k         int
 	backend   Backend
 	estimates int
+
+	// Reusable scratch, grown on first use and retained across calls.
+	pts   []knn.Point
+	nn    []knn.Neighbor
+	tree  *knn.KDTree
+	brute *knn.Brute
+	grid  *knn.Grid
+	xs    *knn.OrderedMultiset
+	ys    *knn.OrderedMultiset
 }
 
 // DefaultK is the nearest-neighbour count used when none is specified; k=4
@@ -80,42 +99,55 @@ func (e *KSG) Estimate(x, y []float64) (float64, error) {
 	if m <= e.k {
 		return 0, fmt.Errorf("%w: m=%d, k=%d", ErrTooFewSamples, m, e.k)
 	}
-	pts := make([]knn.Point, m)
-	for i := range pts {
-		pts[i] = knn.Point{X: x[i], Y: y[i]}
+	e.pts = e.pts[:0]
+	for i := range x {
+		e.pts = append(e.pts, knn.Point{X: x[i], Y: y[i]})
 	}
+	pts := e.pts
 	var index knn.Index
 	switch e.backend {
 	case BackendBrute:
-		index = knn.NewBrute(pts)
-	case BackendGrid:
-		g := knn.NewGridFor(pts, e.k)
-		for i, p := range pts {
-			g.Insert(i, p)
+		if e.brute == nil {
+			e.brute = knn.NewBrute(nil)
 		}
-		index = g
+		e.brute.Reset(pts)
+		index = e.brute
+	case BackendGrid:
+		if e.grid == nil {
+			e.grid = knn.NewGrid(1)
+		}
+		e.grid.Reset(knn.GridCellFor(pts, e.k))
+		for i, p := range pts {
+			e.grid.Insert(i, p)
+		}
+		index = e.grid
 	default:
-		index = knn.NewKDTree(pts)
+		if e.tree == nil {
+			e.tree = knn.NewKDTree(nil)
+		}
+		e.tree.Reset(pts)
+		index = e.tree
 	}
 	// Sorted marginals make the n_x, n_y interval counts O(log m).
-	xs := knn.NewOrderedMultiset(x)
-	ys := knn.NewOrderedMultiset(y)
+	if e.xs == nil {
+		e.xs = knn.NewOrderedMultiset(nil)
+		e.ys = knn.NewOrderedMultiset(nil)
+	}
+	e.xs.Reset(x)
+	e.ys.Reset(y)
 
 	var sum float64
 	for i := 0; i < m; i++ {
-		nn := index.KNearest(pts[i], e.k, i)
+		nn := index.KNearestInto(pts[i], e.k, i, e.nn)
+		e.nn = nn[:0]
 		dx, dy := marginalRadii(pts[i], pts, nn)
-		// Counts include neighbours at exactly the projected distance and
-		// exclude the point itself (its own distance 0 is always inside).
-		nx := xs.CountWithin(x[i], dx) - 1
-		ny := ys.CountWithin(y[i], dy) - 1
-		if nx < 1 {
-			nx = 1
-		}
-		if ny < 1 {
-			ny = 1
-		}
-		sum += mathx.DigammaInt(nx) + mathx.DigammaInt(ny)
+		// The interval counts include neighbours at exactly the projected
+		// distance and the sample itself (distance 0 is always inside), so
+		// the count IS Kraskov's n_x+1 — at least 1 by construction, with no
+		// clamp needed even on tied or degenerate data.
+		cx := e.xs.CountWithin(x[i], dx)
+		cy := e.ys.CountWithin(y[i], dy)
+		sum += mathx.DigammaInt(cx) + mathx.DigammaInt(cy)
 	}
 	k := float64(e.k)
 	e.estimates++
@@ -146,8 +178,15 @@ func marginalRadii(q knn.Point, pts []knn.Point, nn []knn.Neighbor) (dx, dy floa
 // GaussianMI returns the analytic mutual information −½·ln(1−ρ²) of a
 // bivariate Gaussian with correlation ρ; it is the ground truth the
 // estimators are validated against in tests and examples.
+//
+// A perfectly correlated pair (|ρ| ≥ 1) has infinite mutual information; the
+// function returns +Inf explicitly for that range instead of leaking it from
+// log(0) (and NaN from |ρ| > 1), so callers comparing against the analytic
+// value can guard with math.IsInf. The log1p form keeps precision for small
+// |ρ|, where 1−ρ² would cancel.
 func GaussianMI(rho float64) float64 {
-	return -0.5 * math.Log(1-rho*rho)
+	if rho <= -1 || rho >= 1 {
+		return math.Inf(1)
+	}
+	return -0.5 * math.Log1p(-rho*rho)
 }
-
-func logFloat(m int) float64 { return math.Log(float64(m)) }

@@ -154,9 +154,11 @@ func TestNormalize(t *testing.T) {
 	if jh < 0 || jh > 1 {
 		t.Errorf("joint-histogram normalization out of range: %v", jh)
 	}
-	// Negative raw MI clamps to 0.
-	if Normalize(-0.5, x, y, NormMaxEntropy) != 0 {
-		t.Error("negative raw MI must clamp to 0")
+	// Negative raw MI passes through scaled: the ordering among near-zero
+	// scores is gradient texture for the search, and σ > 0 keeps negative
+	// scores out of accepted results.
+	if got, want := Normalize(-0.5, x, y, NormMaxEntropy), -0.5/math.Log(100); math.Abs(got-want) > 1e-12 {
+		t.Errorf("negative raw MI = %v, want %v (scaled, unclamped)", got, want)
 	}
 	// Huge raw MI clamps to 1.
 	if Normalize(1e9, x, y, NormJointHistogram) != 1 {

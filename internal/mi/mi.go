@@ -11,6 +11,7 @@ package mi
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrTooFewSamples is returned when a window is too small for the requested
@@ -71,10 +72,14 @@ func (n Normalization) String() string {
 	}
 }
 
-// Normalize scales a raw MI value for a window of m samples according to n,
-// clamping the result into [0, 1] for the normalized variants (raw KSG
-// estimates can be slightly negative for independent data and slightly above
-// the entropy bound due to estimator variance).
+// Normalize scales a raw MI value for a window of m samples according to n.
+// The normalized variants clamp at 1 (estimator variance can push the raw
+// value slightly above the entropy bound) but deliberately keep negative
+// values: an unbiased KSG estimate on independent data is slightly negative,
+// and the ordering among those near-zero scores is exactly the texture a
+// local search climbs on. Flooring them at 0 would flatten the landscape to
+// a plateau and starve the climb of gradients; acceptance thresholds (σ > 0)
+// make the final decision, so negative scores never surface as results.
 func Normalize(raw float64, x, y []float64, n Normalization) float64 {
 	switch n {
 	case NormNone:
@@ -84,23 +89,19 @@ func Normalize(raw float64, x, y []float64, n Normalization) float64 {
 		if m < 2 {
 			return 0
 		}
-		v := raw / logFloat(m)
-		return clamp01(v)
+		return clampTo1(raw / math.Log(float64(m)))
 	case NormJointHistogram:
 		h := HistogramJointEntropy(x, y, 0)
 		if h <= 0 {
 			return 0
 		}
-		return clamp01(raw / h)
+		return clampTo1(raw / h)
 	default:
 		return raw
 	}
 }
 
-func clamp01(v float64) float64 {
-	if v < 0 {
-		return 0
-	}
+func clampTo1(v float64) float64 {
 	if v > 1 {
 		return 1
 	}
