@@ -144,13 +144,9 @@ func goldenCases() []goldenCase {
 				if err != nil {
 					t.Fatal(err)
 				}
-				// σ retuned from 0.2 when the KSG estimator adopted the
-				// ψ(n_x+1) digamma convention: the corrected (lower, unbiased)
-				// estimates put this dataset's two real events near 0.13–0.16
-				// normalized, and a fixture that finds nothing anchors nothing.
 				res, err := Search(pair, Options{
 					SMin: 24, SMax: 144, TDMax: 6,
-					Sigma:   0.12,
+					Sigma:   0.2,
 					Variant: VariantLMN,
 					Jitter:  0.01,
 					Seed:    1,

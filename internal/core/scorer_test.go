@@ -116,11 +116,11 @@ func TestBuildNullModelDecreasesWithSize(t *testing.T) {
 	if len(nm.sizes) < 3 {
 		t.Fatalf("too few calibration sizes: %v", nm.sizes)
 	}
-	// Under the ψ(n_x+1) convention the KSG estimator is near-unbiased on
-	// independent data, so null levels sit close to zero — often slightly
-	// below, since boundary effects at tiny m bias the estimate negative.
-	// What shrinks with sample count is the MAGNITUDE of the spurious level,
-	// not a positive bias as under the old inflated-count formula.
+	// KSG algorithm 2 is near-unbiased on independent data, so null levels
+	// sit close to zero — sometimes slightly below, since boundary effects
+	// at tiny m can push the estimate negative. What shrinks with sample
+	// count is the MAGNITUDE of the spurious level, not necessarily a
+	// positive bias.
 	first, last := nm.levels[0], nm.levels[len(nm.levels)-1]
 	if math.Abs(last) >= math.Abs(first) {
 		t.Errorf("null level magnitude did not shrink: %v → %v (%v)", first, last, nm.levels)

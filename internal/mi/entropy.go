@@ -20,14 +20,20 @@ import (
 // zero contributes log 0 = −∞. Instead of flooring ε to an arbitrary
 // constant — which silently injects a magic scale (log 1e-12 ≈ −27.6 nats
 // per tied point) that swamps the estimate as soon as a few ties appear —
-// zero-distance points are excluded from the average and the sum is
-// renormalized over the points that do contribute, the standard practical
-// treatment for the KL estimator on weakly-tied data. When every point is
-// tied (a constant or few-valued series has no continuous density), the
-// estimator returns −Inf: the differential entropy of a distribution with
-// atoms genuinely diverges to −∞, and callers can detect the degenerate
-// window with math.IsInf instead of receiving a plausible-looking finite
-// number.
+// zero-distance points are excluded from the average and Σ log ε is
+// renormalized over the points that do contribute. This is a HEURISTIC,
+// not a consistent estimator on tied data: the ψ(n) − ψ(k) bias correction
+// assumes the average runs over all n samples, so partially-tied inputs
+// pick up an uncontrolled upward shift (a consistent treatment would
+// rerun the estimator on the deduplicated subsample, with ψ over its size
+// and k-th distances within it). The trade accepted here keeps the common
+// weakly-tied case scale-free at the cost of a bias that grows with the
+// tie fraction. When every point is tied (a constant or few-valued series
+// has no continuous density), the estimator returns −Inf: the differential
+// entropy of a distribution with atoms genuinely diverges to −∞. Callers
+// MUST guard with math.IsInf before arithmetic on the result — in
+// particular, forming entropy differences (e.g. MI via H(X)+H(Y)−H(X,Y))
+// yields NaN from −Inf − (−Inf) on degenerate windows.
 func KLEntropy(v []float64, k int) (float64, error) {
 	n := len(v)
 	if k < 1 {
@@ -57,8 +63,10 @@ func KLEntropy(v []float64, k int) (float64, error) {
 // KLJointEntropy estimates the differential entropy (nats) of the 2-D sample
 // (x, y) with the Kozachenko–Leonenko estimator under L∞ (unit-ball volume
 // log 4 in two dimensions). Zero-distance (duplicated) points are handled as
-// in KLEntropy: excluded from the average, with −Inf returned when every
-// point is a duplicate.
+// in KLEntropy — excluded from the average, with −Inf returned when every
+// point is a duplicate — and the same caveats apply: the exclusion is a
+// heuristic that biases partially-tied inputs upward, and callers must
+// guard math.IsInf before forming entropy differences.
 func KLJointEntropy(x, y []float64, k int) (float64, error) {
 	if err := checkPair(x, y); err != nil {
 		return 0, err

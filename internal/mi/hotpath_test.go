@@ -111,9 +111,9 @@ func TestIncrementalReloadAllocs(t *testing.T) {
 
 // TestBatchIncrementalAgreeOnTies is the formula-alignment regression test:
 // the batch and incremental estimators must agree to 1e-9 under the shared
-// ψ(n_x+1) convention — on continuous data AND on data with heavy coordinate
-// ties, where any divergence in marginal-count or tie-break conventions
-// surfaces immediately.
+// algorithm-2 convention (ψ(n_x), counts excluding self, floored at 1) — on
+// continuous data AND on data with heavy coordinate ties, where any
+// divergence in marginal-count or tie-break conventions surfaces immediately.
 func TestBatchIncrementalAgreeOnTies(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	cases := map[string]func(i int) (float64, float64){

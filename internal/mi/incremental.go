@@ -75,10 +75,12 @@ type pointState struct {
 	p      knn.Point
 	dx, dy float64 // IMR half-widths (per-dimension kth-NN projections)
 	d      float64 // IR half-width = L∞ distance to the k-th neighbour
-	// nx, ny are the closed-interval marginal counts INCLUDING the point
-	// itself — Kraskov's n_x+1, the digamma argument of the ψ(n_x+1)
-	// convention shared with the batch estimator. Always ≥ 1 (the point's
-	// own coordinate is inside any interval of half-width ≥ 0).
+	// nx, ny are the closed-interval marginal counts EXCLUDING the point
+	// itself — Kraskov's n_x, n_y, the ψ(n_x) digamma arguments of
+	// algorithm 2 (Eq. (9)), shared with the batch estimator. With k ≥ 1 the
+	// k-th-NN projection keeps them ≥ 1 in exact arithmetic; computePoint
+	// and the classify cascade floor them at 1 defensively against fp
+	// boundary rounding.
 	nx, ny int
 }
 
@@ -296,10 +298,10 @@ func (inc *Incremental) classify(o knn.Point, sign int) []int {
 			refresh = append(refresh, pid)
 			continue
 		}
-		// The counts track other points entering/leaving the IMR intervals;
-		// the floor preserves the self-inclusion invariant (nx, ny ≥ 1)
-		// defensively — in exact arithmetic the point's own coordinate never
-		// leaves its interval.
+		// The counts track other points entering/leaving the IMR intervals
+		// (o ≠ p here, so the excluding-self convention is unaffected); the
+		// floor mirrors computePoint's defensive max(count−1, 1) — in exact
+		// arithmetic the k-th-NN projection keeps nx, ny ≥ 1.
 		if math.Abs(o.X-st.p.X) <= st.dx {
 			st.nx += sign
 			if st.nx < 1 {
@@ -342,10 +344,17 @@ func (inc *Incremental) computePoint(id int, st *pointState) {
 		}
 	}
 	st.dx, st.dy, st.d = dx, dy, d
-	// The interval counts include the point's own coordinate, so they are
-	// Kraskov's n_x+1 / n_y+1 directly — at least 1 by construction.
-	st.nx = inc.xs.CountWithin(st.p.X, dx)
-	st.ny = inc.ys.CountWithin(st.p.Y, dy)
+	// The interval counts include the point's own coordinate; subtracting it
+	// yields Kraskov's n_x, n_y (counts excluding self, as in the batch
+	// estimator). The floor mirrors ksg.go's defensive max(count−1, 1).
+	st.nx = inc.xs.CountWithin(st.p.X, dx) - 1
+	if st.nx < 1 {
+		st.nx = 1
+	}
+	st.ny = inc.ys.CountWithin(st.p.Y, dy) - 1
+	if st.ny < 1 {
+		st.ny = 1
+	}
 }
 
 // rebuildAll recomputes every point's state from scratch. Called when the

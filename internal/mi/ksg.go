@@ -40,14 +40,19 @@ func (b Backend) String() string {
 // k-th nearest neighbour under L∞ is projected on each axis, the marginal
 // neighbour counts n_x, n_y within those projections are taken, and
 //
-//	I = ψ(k) − 1/k − ⟨ψ(n_x+1) + ψ(n_y+1)⟩ + ψ(m),
+//	I = ψ(k) − 1/k − ⟨ψ(n_x) + ψ(n_y)⟩ + ψ(m)
 //
-// where n_x, n_y count the OTHER samples inside the closed marginal
-// intervals — the +1 is the sample itself, following Kraskov et al.'s
-// ψ(n_x+1) convention. Computationally the interval count over the full
-// multiset already includes the query's own coordinate, so ψ is evaluated
-// directly on that count: always ≥ 1, with no clamp and no silent deviation
-// on tied or degenerate data.
+// (Kraskov et al. 2004, Eq. (9)), where n_x, n_y count the OTHER samples
+// whose coordinate lies within the closed marginal interval of half-width
+// ε_x/2 = max|Δx| over the kNN set (resp. ε_y/2) — the counts exclude the
+// point itself. Note algorithm 1 (Eq. (8)) is the variant that evaluates
+// ψ(n_x+1); it pairs that with a single strict L∞ radius and NO −1/k term,
+// so the two conventions must never be mixed. Computationally the interval
+// count over the full multiset includes the query's own coordinate, so
+// n_x = count − 1; with k ≥ 1 the neighbour realising the max projection
+// lies inside the interval, so count ≥ 2 and n_x ≥ 1 in exact arithmetic.
+// A max(count−1, 1) floor guards the digamma against a count collapsing to
+// 1 under floating-point boundary rounding on degenerate data.
 //
 // The zero value is not usable; construct with NewKSG.
 //
@@ -141,13 +146,20 @@ func (e *KSG) Estimate(x, y []float64) (float64, error) {
 		nn := index.KNearestInto(pts[i], e.k, i, e.nn)
 		e.nn = nn[:0]
 		dx, dy := marginalRadii(pts[i], pts, nn)
-		// The interval counts include neighbours at exactly the projected
-		// distance and the sample itself (distance 0 is always inside), so
-		// the count IS Kraskov's n_x+1 — at least 1 by construction, with no
-		// clamp needed even on tied or degenerate data.
-		cx := e.xs.CountWithin(x[i], dx)
-		cy := e.ys.CountWithin(y[i], dy)
-		sum += mathx.DigammaInt(cx) + mathx.DigammaInt(cy)
+		// The closed-interval counts include the query's own coordinate;
+		// subtracting it yields Kraskov's n_x, n_y (Eq. (9) counts exclude
+		// the point itself). The floor is defensive only: in exact arithmetic
+		// the k-th-NN projection keeps n_x, n_y ≥ 1, but fp boundary rounding
+		// on degenerate data could leave just the query in its interval.
+		nx := e.xs.CountWithin(x[i], dx) - 1
+		if nx < 1 {
+			nx = 1
+		}
+		ny := e.ys.CountWithin(y[i], dy) - 1
+		if ny < 1 {
+			ny = 1
+		}
+		sum += mathx.DigammaInt(nx) + mathx.DigammaInt(ny)
 	}
 	k := float64(e.k)
 	e.estimates++

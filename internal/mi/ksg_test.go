@@ -37,6 +37,34 @@ func TestKSGGaussianGroundTruth(t *testing.T) {
 	}
 }
 
+// TestKSGNullBias pins the digamma convention tightly: algorithm 2 is
+// near-unbiased at ρ = 0, so the estimate averaged over independent draws
+// must sit within 0.02 nats of zero at m = 2000. A convention mistake —
+// e.g. evaluating ψ on the count including the query point while keeping
+// the −1/k term — shifts every estimate by ⟨1/n_x + 1/n_y⟩ ≈ 0.03 nats at
+// this m, which the looser 0.08 ground-truth tolerance would let through
+// but this test catches.
+func TestKSGNullBias(t *testing.T) {
+	const (
+		m      = 2000
+		rounds = 8
+	)
+	est := NewKSG(4, BackendKDTree)
+	var mean float64
+	for seed := int64(0); seed < rounds; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		x, y := gaussianPair(rng, m, 0)
+		got, err := est.Estimate(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += got / rounds
+	}
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean KSG bias at rho=0, m=%d over %d rounds = %+.4f nats, want |bias| ≤ 0.02", m, rounds, mean)
+	}
+}
+
 func TestKSGDetectsNonlinearDependence(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	n := 1200
