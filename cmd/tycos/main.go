@@ -41,6 +41,7 @@ import (
 	"runtime/debug"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"tycos"
 )
@@ -193,10 +194,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts.Observer = tycos.MultiObserver(observers...)
 
-	// A first SIGINT cancels the search gracefully — the windows accepted so
-	// far are printed with a "(partial)" banner; a second SIGINT kills the
-	// process the usual way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// A first SIGINT or SIGTERM cancels the search gracefully — the windows
+	// accepted so far are printed with a "(partial)" banner; a second signal
+	// kills the process the usual way. SIGTERM matters beyond the terminal:
+	// it is what cron, timeout(1) and container runtimes send first, and
+	// without it a checkpointed sweep would lose its journal flush.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

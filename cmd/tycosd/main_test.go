@@ -1,0 +1,351 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"tycos/internal/checkpoint"
+)
+
+// TestMain doubles as the daemon entry point for forked-process tests: when
+// TYCOSD_CHILD is set the test binary becomes tycosd itself, so the chaos
+// suite can SIGTERM and SIGKILL a real process rather than a simulation.
+func TestMain(m *testing.M) {
+	if os.Getenv("TYCOSD_CHILD") == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("TYCOSD_ARGS")), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "tycosd test child:", err)
+			os.Exit(exitUsage)
+		}
+		os.Exit(run(args, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// lockedBuf is a goroutine-safe output collector for the child's streams.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// daemonProc is one forked tycosd under test.
+type daemonProc struct {
+	cmd      *exec.Cmd
+	base     string // http://host:port
+	out      *lockedBuf
+	copyDone chan struct{}
+}
+
+// startDaemon forks the test binary as tycosd, waits for its "listening on"
+// line and returns a handle with the resolved base URL.
+func startDaemon(t *testing.T, args []string, env ...string) *daemonProc {
+	t.Helper()
+	argv, err := json.Marshal(append([]string{"-addr", "127.0.0.1:0"}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "TYCOSD_CHILD=1", "TYCOSD_ARGS="+string(argv))
+	cmd.Env = append(cmd.Env, env...)
+	p := &daemonProc{cmd: cmd, out: &lockedBuf{}, copyDone: make(chan struct{})}
+	cmd.Stderr = p.out
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			<-p.copyDone
+			cmd.Wait()
+		}
+	})
+
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		<-closeAfterCopy(p, rd)
+		cmd.Wait()
+		t.Fatalf("tycosd child produced no listening line (err %v); output:\n%s", err, p.out.String())
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	p.base = "http://" + strings.TrimSpace(line[i+len(marker):])
+	p.out.Write([]byte(line))
+	closeAfterCopy(p, rd)
+	return p
+}
+
+// closeAfterCopy drains the rest of the child's stdout into the buffer.
+func closeAfterCopy(p *daemonProc, rd io.Reader) chan struct{} {
+	go func() {
+		defer func() { recover() }()
+		io.Copy(p.out, rd)
+		close(p.copyDone)
+	}()
+	return p.copyDone
+}
+
+// waitExit waits for the child to finish and returns its exit code
+// (-1 when killed by a signal).
+func (p *daemonProc) waitExit(t *testing.T) int {
+	t.Helper()
+	select {
+	case <-p.copyDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("child stdout never closed; output:\n%s", p.out.String())
+	}
+	err := p.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("wait: %v", err)
+	return -2
+}
+
+func (p *daemonProc) signal(t *testing.T, sig os.Signal) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		t.Fatalf("signal %v: %v", sig, err)
+	}
+}
+
+// chaosSeries is the deterministic pair every forked run ingests, so golden
+// and resumed runs see identical data.
+func chaosSeries() (x, y []float64) {
+	const n = 160
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)/7) + 0.1*math.Cos(float64(i)/3)
+	}
+	for i := range y {
+		j := i - 2
+		if j < 0 {
+			j = 0
+		}
+		y[i] = x[j]
+	}
+	return x, y
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, error) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return http.Post(url, "application/json", bytes.NewReader(b))
+}
+
+func ingestPair(t *testing.T, base string) {
+	t.Helper()
+	x, y := chaosSeries()
+	for name, vals := range map[string][]float64{"x": x, "y": y} {
+		resp, err := postJSON(t, base+"/v1/series", map[string]any{"name": name, "values": vals})
+		if err != nil {
+			t.Fatalf("ingest %s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", name, resp.StatusCode)
+		}
+	}
+}
+
+// searchBodies are the two requests the chaos tests replay; distinct sigmas
+// give them distinct journal fingerprints.
+func searchBodies() []map[string]any {
+	return []map[string]any{
+		{"x": "x", "y": "y", "smin": 8, "smax": 16, "tdmax": 4, "sigma": 0.2},
+		{"x": "x", "y": "y", "smin": 8, "smax": 16, "tdmax": 4, "sigma": 0.3},
+	}
+}
+
+// search posts one search and returns (source header, body, error).
+func search(t *testing.T, base string, body map[string]any) (string, []byte, error) {
+	t.Helper()
+	resp, err := postJSON(t, base+"/v1/search", body)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return "", nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return resp.Header.Get("X-Tycosd-Source"), b, err
+}
+
+// TestDrainOnSIGTERM is the graceful-lifecycle acceptance check: a SIGTERM
+// after real work drains in-flight searches, flushes the journal, logs the
+// drain and exits 0, leaving a journal a fresh reader can parse.
+func TestDrainOnSIGTERM(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "journal.jsonl")
+	p := startDaemon(t, []string{"-journal", jpath, "-workers", "2"})
+
+	resp, err := http.Get(p.base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	ingestPair(t, p.base)
+	src, _, err := search(t, p.base, searchBodies()[0])
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if src != "computed" {
+		t.Fatalf("source = %q, want computed", src)
+	}
+
+	p.signal(t, syscall.SIGTERM)
+	if code := p.waitExit(t); code != exitOK {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, exitOK, p.out.String())
+	}
+	out := p.out.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained, exiting") {
+		t.Errorf("drain lifecycle not logged:\n%s", out)
+	}
+
+	j, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatalf("reopen journal after drain: %v", err)
+	}
+	defer j.Close()
+	if j.Len() != 1 {
+		t.Errorf("drained journal holds %d records, want 1", j.Len())
+	}
+}
+
+// TestKillResumeByteIdentical is the crash-safety acceptance check: a
+// tycosd SIGKILLed mid-journal-append (via an injected torn write) is
+// restarted on the same journal, replays every completed search
+// byte-identically to an uninterrupted golden run, and recomputes the torn
+// one to the same bytes.
+func TestKillResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	bodies := searchBodies()
+
+	// Golden: uninterrupted run, both searches computed.
+	golden := make([][]byte, len(bodies))
+	g := startDaemon(t, []string{"-journal", filepath.Join(dir, "golden.jsonl")})
+	ingestPair(t, g.base)
+	for i, b := range bodies {
+		src, body, err := search(t, g.base, b)
+		if err != nil || src != "computed" {
+			t.Fatalf("golden search %d: src=%q err=%v", i, src, err)
+		}
+		golden[i] = body
+	}
+	g.signal(t, syscall.SIGTERM)
+	if code := g.waitExit(t); code != exitOK {
+		t.Fatalf("golden exit = %d; output:\n%s", code, g.out.String())
+	}
+
+	// Chaos: the second journal append is killed halfway through the line —
+	// the process dies with a torn record for search 2 and a completed one
+	// for search 1.
+	jpath := filepath.Join(dir, "chaos.jsonl")
+	c := startDaemon(t, []string{"-journal", jpath},
+		"TYCOS_FAULTS=checkpoint/record.torn=kill,after=1")
+	ingestPair(t, c.base)
+	src, body, err := search(t, c.base, bodies[0])
+	if err != nil || src != "computed" {
+		t.Fatalf("chaos search 0: src=%q err=%v", src, err)
+	}
+	if !bytes.Equal(body, golden[0]) {
+		t.Fatalf("chaos search 0 differs from golden before the kill")
+	}
+	if _, _, err := search(t, c.base, bodies[1]); err == nil {
+		t.Fatalf("search 1 succeeded; the injected kill never fired")
+	}
+	if code := c.waitExit(t); code == exitOK {
+		t.Fatalf("killed child reported a clean exit")
+	}
+
+	// Resume: same journal, same data. Search 0 must replay from the
+	// journal; search 1 (its record was torn) must recompute. Both must be
+	// byte-identical to the golden run.
+	r := startDaemon(t, []string{"-journal", jpath})
+	ingestPair(t, r.base)
+	wantSrc := []string{"journal", "computed"}
+	for i, b := range bodies {
+		src, body, err := search(t, r.base, b)
+		if err != nil {
+			t.Fatalf("resumed search %d: %v", i, err)
+		}
+		if src != wantSrc[i] {
+			t.Errorf("resumed search %d source = %q, want %q", i, src, wantSrc[i])
+		}
+		if !bytes.Equal(body, golden[i]) {
+			t.Errorf("resumed search %d differs from golden:\n%s\nvs\n%s", i, body, golden[i])
+		}
+	}
+	r.signal(t, syscall.SIGTERM)
+	if code := r.waitExit(t); code != exitOK {
+		t.Fatalf("resumed exit = %d; output:\n%s", code, r.out.String())
+	}
+	j, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatalf("final journal: %v", err)
+	}
+	defer j.Close()
+	if j.Len() != len(bodies) {
+		t.Errorf("final journal holds %d records, want %d", j.Len(), len(bodies))
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-shed", "politely"}, &out, &errw); code != exitUsage {
+		t.Errorf("bad -shed exit = %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(errw.String(), "shed") {
+		t.Errorf("bad -shed not diagnosed: %s", errw.String())
+	}
+
+	errw.Reset()
+	t.Setenv("TYCOS_FAULTS", "not a fault spec")
+	if code := run(nil, &out, &errw); code != exitUsage {
+		t.Errorf("bad TYCOS_FAULTS exit = %d, want %d", code, exitUsage)
+	}
+}

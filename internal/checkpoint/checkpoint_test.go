@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"os"
@@ -200,5 +201,222 @@ func TestSweepResumeRecomputesOnlyUnjournaledPairs(t *testing.T) {
 	}
 	if j2.Len() != 3 {
 		t.Errorf("journal holds %d pairs after resume, want 3", j2.Len())
+	}
+}
+
+// A multi-GB journal must not be slurped whole; the regression proxy is an
+// oversized garbage line (way past MaxLineBytes) that Open must skip while
+// still recovering every intact record around it.
+func TestOpenSkipsOversizedGarbageLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("a", "b", testResult(1))
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MiB of garbage on one line, then an intact record, then a torn tail.
+	garbage := strings.Repeat("x", 1<<20)
+	f.WriteString(garbage + "\n")
+	line, _ := json.Marshal(struct {
+		X string      `json:"x"`
+		Y string      `json:"y"`
+		R core.Result `json:"result"`
+	}{X: "a", Y: "c", R: testResult(2)})
+	f.Write(append(line, '\n'))
+	f.WriteString(`{"x":"a","y":"d","result":`) // torn
+	f.Close()
+
+	j2, err := OpenOptions(path, Options{MaxLineBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2 intact records around the garbage", j2.Len())
+	}
+	if _, ok := j2.Lookup("a", "c"); !ok {
+		t.Error("intact record after the oversized line was lost")
+	}
+	if _, ok := j2.Lookup("a", "d"); ok {
+		t.Error("torn tail resurrected")
+	}
+}
+
+// A record longer than the line bound must be refused at write time —
+// otherwise reopen would silently drop it.
+func TestRecordRefusesOversizedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenOptions(path, Options{MaxLineBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	big := core.Result{Windows: make([]window.Scored, 64)}
+	if err := j.Record("a", strings.Repeat("y", 200), big); err == nil || !strings.Contains(err.Error(), "line bound") {
+		t.Fatalf("oversized record accepted: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Error("refused record entered the in-memory index")
+	}
+}
+
+func TestFsyncOptionStillRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenOptions(path, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", "b", testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("a", "b"); !ok {
+		t.Error("fsynced record lost")
+	}
+}
+
+// Compact must drop overwritten keys and garbage, keep every live record,
+// and leave a journal that reopens to the same contents.
+func TestCompactShrinksAndPreservesRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		// The same key re-recorded 20 times: 19 dead lines.
+		if err := j.Record("a", "b", testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Record("a", "c", testResult(99)); err != nil {
+		t.Fatal(err)
+	}
+	before := j.SizeBytes()
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := j.SizeBytes()
+	if after >= before {
+		t.Errorf("Compact grew the journal: %d -> %d bytes", before, after)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != after {
+		t.Errorf("SizeBytes %d disagrees with stat %v (%v)", after, st.Size(), err)
+	}
+	// The journal stays appendable after the rename swapped its fd.
+	if err := j.Record("a", "d", testResult(7)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 {
+		t.Fatalf("Len after compact+reopen = %d, want 3", j2.Len())
+	}
+	if got, ok := j2.Lookup("a", "b"); !ok || got.Stats.Restarts != 19 {
+		t.Errorf("compacted journal kept the wrong version of a/b: %+v ok=%v", got.Stats, ok)
+	}
+}
+
+// AutoCompactBytes triggers compaction from inside Record once the file is
+// mostly dead weight.
+func TestAutoCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenOptions(path, Options{AutoCompactBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 200; i++ {
+		if err := j.Record("a", "b", testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 rewrites of one ~160-byte record ≈ 32 KiB raw; auto-compaction
+	// must have kept the file near one live record.
+	if sz := j.SizeBytes(); sz > 2048 {
+		t.Errorf("journal is %d bytes after 200 overwrites, want auto-compacted under 2048", sz)
+	}
+	if j.Len() != 1 {
+		t.Errorf("Len = %d, want 1", j.Len())
+	}
+}
+
+// An injected failure at the torn-write chaos point must leave a torn line
+// that the next Open skips, with the failed record absent — zero completed-
+// record loss means exactly: error reported ⇒ not journaled, no error ⇒
+// journaled.
+func TestInjectedTornWriteIsSkippedOnReopen(t *testing.T) {
+	defer faultinject.Clear()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", "b", testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set("checkpoint/record.torn", faultinject.Fault{Err: errors.New("disk died"), Times: 1})
+	if err := j.Record("a", "c", testResult(2)); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	j.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("a", "c"); ok {
+		t.Error("torn record resurrected on reopen")
+	}
+	if _, ok := j2.Lookup("a", "b"); !ok {
+		t.Error("intact record before the torn line was lost")
+	}
+	// And the journal heals: appending works and survives reopen.
+	if err := j2.Record("a", "c", testResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j2.Lookup("a", "c"); !ok {
+		t.Error("healed record missing")
+	}
+}
+
+func TestInjectedRecordErrorIsRetryable(t *testing.T) {
+	defer faultinject.Clear()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	faultinject.Set("checkpoint/record", faultinject.Fault{Err: errors.New("transient"), Times: 2})
+	var lastErr error
+	attempts := 0
+	for ; attempts < 5; attempts++ {
+		if lastErr = j.Record("a", "b", testResult(1)); lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil || attempts != 2 {
+		t.Fatalf("retry loop: attempts=%d err=%v, want success on the 3rd call", attempts, lastErr)
+	}
+	if _, ok := j.Lookup("a", "b"); !ok {
+		t.Error("record missing after successful retry")
 	}
 }

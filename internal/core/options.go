@@ -224,6 +224,16 @@ type Stats struct {
 	Timing Timing
 }
 
+// Deterministic returns a copy of the stats with the wall-clock Timing
+// zeroed, leaving only the fields that are a pure function of (input,
+// Options). Anything that persists or replays results byte-for-byte — the
+// daemon's journal, the chaos harness's golden comparisons — stores this
+// form, so a resumed run can be compared against an uninterrupted one.
+func (s Stats) Deterministic() Stats {
+	s.Timing = Timing{}
+	return s
+}
+
 // Timing is the wall-clock phase breakdown of one search, mirroring the
 // obs.Phase* timers: validation (input checks + jitter), null-model
 // calibration (zero when significance correction is off), the restart/climb

@@ -1,0 +1,225 @@
+// Package daemon is the always-on TYCOS service behind cmd/tycosd: an HTTP
+// server (stdlib net/http only) that ingests series appends and answers
+// delayed-correlation search requests through core.SearchContext, and is
+// built to stay correct under the three failure classes a long-running
+// process meets:
+//
+//   - Overload. Searches pass through admission control — a bounded work
+//     queue drained by a fixed worker pool. A full queue never grows; the
+//     server sheds load with 429 + Retry-After, or (ShedDegrade) answers
+//     with the cheap internal/baseline sliding-PCC pre-screen instead of
+//     queueing KSG work it cannot afford.
+//   - Crashes. Completed searches are journaled through internal/checkpoint
+//     (opt-in fsync, auto-compaction); after a kill -9 a restarted daemon
+//     serves every journaled result byte-identically instead of recomputing
+//     it. Transient journal and ingest errors are retried with jittered
+//     exponential backoff; a journal that stays broken degrades readiness
+//     instead of crashing the server.
+//   - Shutdown. Drain stops admission, lets in-flight searches finish,
+//     flushes the journal and only then returns, so SIGTERM under an
+//     orchestrator loses nothing.
+//
+// Liveness (/healthz), readiness (/readyz) and a JSON status snapshot
+// (/statusz) are backed by an internal/obs Metrics sink; every admission
+// decision and failure is counted there and mirrored to any extra Observer.
+package daemon
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tycos/internal/checkpoint"
+	"tycos/internal/obs"
+)
+
+// ShedPolicy says what a saturated daemon does with a search it cannot
+// queue.
+type ShedPolicy int
+
+const (
+	// ShedReject answers 429 with a Retry-After hint — the caller owns the
+	// retry. This is the default: it never spends CPU the queue bound was
+	// meant to protect.
+	ShedReject ShedPolicy = iota
+	// ShedDegrade answers immediately with the internal/baseline
+	// sliding-PCC pre-screen — a linear-dependence-only approximation that
+	// costs microseconds where KSG costs seconds. Responses carry
+	// "degraded": true and an X-Tycosd-Source: degraded header so callers
+	// can tell the cheap answer from the real one.
+	ShedDegrade
+)
+
+// Config tunes a Server. The zero value serves with GOMAXPROCS workers, a
+// 4×workers queue, ShedReject, and no journal.
+type Config struct {
+	// Workers is the number of concurrent search workers (≤0 → GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (≤0 → 4×Workers). Queue plus
+	// workers is the hard cap on admitted-but-unanswered searches.
+	QueueDepth int
+	// Shed selects the saturation behaviour (default ShedReject).
+	Shed ShedPolicy
+	// RetryAfter is the hint returned with 429/503 responses (0 → 1s).
+	RetryAfter time.Duration
+	// JournalPath, when non-empty, persists completed search results to a
+	// checkpoint journal so a restarted daemon serves them from disk.
+	JournalPath string
+	// JournalFsync upgrades journal appends to fsync-per-record
+	// (checkpoint.Options.Fsync).
+	JournalFsync bool
+	// JournalCompactBytes enables journal auto-compaction past this size
+	// (checkpoint.Options.AutoCompactBytes).
+	JournalCompactBytes int64
+	// RetryAttempts is the total number of attempts for transient journal
+	// and ingest errors (0 → 3); RetryBase is the first backoff delay
+	// (0 → 10ms). Backoff doubles per attempt with jitter in [d, 2d).
+	RetryAttempts int
+	RetryBase     time.Duration
+	// Seed drives the retry jitter and is the default search seed for
+	// requests that omit one (0 → 1).
+	Seed int64
+	// MaxEvalsCap bounds every request's MaxEvaluations budget; requests
+	// that omit a budget get the cap. 0 leaves requests uncapped.
+	MaxEvalsCap int
+	// TimeoutCap bounds every request's wall-clock timeout the same way.
+	TimeoutCap time.Duration
+	// MaxBodyBytes bounds a request body (0 → 32 MiB).
+	MaxBodyBytes int64
+	// Observer, when non-nil, receives every event/counter/gauge the
+	// daemon's internal Metrics sink sees (fanned out with obs.Multi).
+	Observer obs.Sink
+}
+
+// withDefaults returns cfg with zero fields replaced.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	return cfg
+}
+
+// Server is one daemon instance. Create with New, serve its Handler, stop
+// with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	sink    obs.Sink
+	journal *checkpoint.Journal
+
+	store store
+
+	// admitMu serialises enqueue attempts against the queue close in
+	// Drain: admitters hold it shared, Drain exclusively, so a send on a
+	// closed queue cannot happen.
+	admitMu  sync.RWMutex
+	draining atomic.Bool
+	queue    chan *task
+	wg       sync.WaitGroup
+
+	inflight  atomic.Int64
+	journalOK atomic.Bool
+	retry     *retrier
+	mux       *http.ServeMux
+}
+
+// New builds a Server, opens its journal (when configured) and starts its
+// worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: obs.NewMetrics(),
+		store:   store{series: make(map[string][]float64)},
+		queue:   make(chan *task, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
+	}
+	s.sink = obs.Multi(s.metrics, cfg.Observer)
+	s.retry = newRetrier(cfg.RetryAttempts, cfg.RetryBase, cfg.Seed)
+	s.journalOK.Store(true)
+	if cfg.JournalPath != "" {
+		j, err := checkpoint.OpenOptions(cfg.JournalPath, checkpoint.Options{
+			Fsync:            cfg.JournalFsync,
+			AutoCompactBytes: cfg.JournalCompactBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: %w", err)
+		}
+		s.journal = j
+	}
+	s.routes()
+	s.startWorkers()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler (see routes in handlers.go).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the daemon's internal aggregation sink, which the status
+// endpoints are built on.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// store holds the ingested series: append-only float64 columns keyed by
+// name. Appends may grow (reallocate) a column, but existing elements are
+// never rewritten, so a snapshot slice header taken under the read lock
+// stays valid and immutable afterwards.
+type store struct {
+	mu     sync.RWMutex
+	series map[string][]float64
+}
+
+// Append extends (or creates) the named series and returns its new length.
+func (st *store) Append(name string, values []float64) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.series[name] = append(st.series[name], values...)
+	return len(st.series[name])
+}
+
+// Get returns an immutable snapshot of the named series.
+func (st *store) Get(name string) ([]float64, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.series[name]
+	return v, ok
+}
+
+// Names returns the stored series names and lengths, sorted by name.
+func (st *store) Names() []seriesInfo {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]seriesInfo, 0, len(st.series))
+	for name, v := range st.series {
+		out = append(out, seriesInfo{Name: name, Len: len(v)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// seriesInfo is one row of the status endpoint's series table.
+type seriesInfo struct {
+	Name string `json:"name"`
+	Len  int    `json:"len"`
+}

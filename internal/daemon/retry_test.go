@@ -1,0 +1,146 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tycos/internal/faultinject"
+)
+
+// recordingSleep replaces the retrier's wait primitive and records every
+// requested delay without actually waiting.
+type recordingSleep struct {
+	delays []time.Duration
+	err    error // returned from every sleep when non-nil
+}
+
+func (rs *recordingSleep) sleep(ctx context.Context, d time.Duration) error {
+	rs.delays = append(rs.delays, d)
+	return rs.err
+}
+
+func TestRetrierAttemptCounts(t *testing.T) {
+	cases := []struct {
+		name         string
+		attempts     int
+		failures     int // leading failures before success
+		wantCalls    int
+		wantSleeps   int
+		wantSucceeds bool
+	}{
+		{name: "first try", attempts: 3, failures: 0, wantCalls: 1, wantSleeps: 0, wantSucceeds: true},
+		{name: "one retry", attempts: 3, failures: 1, wantCalls: 2, wantSleeps: 1, wantSucceeds: true},
+		{name: "last chance", attempts: 3, failures: 2, wantCalls: 3, wantSleeps: 2, wantSucceeds: true},
+		{name: "gives up", attempts: 3, failures: 5, wantCalls: 3, wantSleeps: 2, wantSucceeds: false},
+		{name: "single attempt", attempts: 1, failures: 1, wantCalls: 1, wantSleeps: 0, wantSucceeds: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRetrier(tc.attempts, time.Millisecond, 7)
+			rs := &recordingSleep{}
+			r.sleep = rs.sleep
+			calls := 0
+			err := r.Do(context.Background(), "daemon/test", func() error {
+				calls++
+				if calls <= tc.failures {
+					return errors.New("transient")
+				}
+				return nil
+			})
+			if calls != tc.wantCalls {
+				t.Errorf("calls = %d, want %d", calls, tc.wantCalls)
+			}
+			if len(rs.delays) != tc.wantSleeps {
+				t.Errorf("sleeps = %d, want %d", len(rs.delays), tc.wantSleeps)
+			}
+			if (err == nil) != tc.wantSucceeds {
+				t.Errorf("err = %v, wantSucceeds = %v", err, tc.wantSucceeds)
+			}
+			if err != nil && !strings.Contains(err.Error(), "gave up after") {
+				t.Errorf("give-up error should say how many attempts were spent, got %v", err)
+			}
+		})
+	}
+}
+
+// TestRetrierJitterBounds pins the backoff contract: retry k waits in
+// [base·2^(k−1), 2·base·2^(k−1)).
+func TestRetrierJitterBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	r := newRetrier(5, base, 42)
+	for k := 1; k <= 4; k++ {
+		lo := base << (k - 1)
+		hi := 2 * lo
+		for i := 0; i < 200; i++ {
+			d := r.backoff(k)
+			if d < lo || d >= hi {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v)", k, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRetrierDeterministicDelays: same seed, same failure pattern → the
+// exact same delay sequence, so chaos runs replay bit-for-bit.
+func TestRetrierDeterministicDelays(t *testing.T) {
+	run := func() []time.Duration {
+		r := newRetrier(4, 5*time.Millisecond, 99)
+		rs := &recordingSleep{}
+		r.sleep = rs.sleep
+		r.Do(context.Background(), "daemon/test", func() error { return errors.New("always") })
+		return rs.delays
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 backoffs per run, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs across seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetrierContextCancelDuringBackoff(t *testing.T) {
+	r := newRetrier(3, time.Millisecond, 1)
+	rs := &recordingSleep{err: context.Canceled}
+	r.sleep = rs.sleep
+	calls := 0
+	err := r.Do(context.Background(), "daemon/test", func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancelled before the retry ran)", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestRetrierFaultInjection: the faultinject hook at the retry boundary
+// counts as a failed attempt and is retried like any other error.
+func TestRetrierFaultInjection(t *testing.T) {
+	faultinject.Set("daemon/test-fi", faultinject.Fault{Err: errors.New("injected"), Times: 2})
+	defer faultinject.Clear()
+	r := newRetrier(3, time.Millisecond, 1)
+	rs := &recordingSleep{}
+	r.sleep = rs.sleep
+	calls := 0
+	err := r.Do(context.Background(), "daemon/test-fi", func() error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v (injected faults should be absorbed by retries)", err)
+	}
+	if calls != 1 {
+		t.Errorf("f ran %d times, want 1 (two injected failures never reach f)", calls)
+	}
+	if len(rs.delays) != 2 {
+		t.Errorf("sleeps = %d, want 2", len(rs.delays))
+	}
+}

@@ -1,34 +1,47 @@
 // Package faultinject is a test-only fault registry used to exercise the
-// robustness paths of multi-pair sweeps: panics, errors and slowdowns keyed
-// off pair names. Production code calls Fire at its injection points; the
-// call is inert (a single atomic load) unless a test has armed the registry
-// with Set, so the hook costs nothing outside tests.
+// robustness paths of multi-pair sweeps and the tycosd daemon: panics,
+// errors, slowdowns and hard kills keyed off injection-point names.
+// Production code calls Fire at its injection points; the call is inert (a
+// single atomic load) unless a test has armed the registry with Set or
+// ArmFromEnv, so the hook costs nothing outside tests.
 package faultinject
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Fault describes the behaviour injected for one key. Delay is applied
-// first, then Panic, then Err; a zero Fault is a no-op.
+// first, then Kill, then Panic, then Err; a zero Fault is a no-op.
 type Fault struct {
 	// Panic, when non-empty, makes Fire panic with this message.
 	Panic string
 	// Err, when non-nil, is returned (wrapped) by Fire.
 	Err error
-	// Delay is slept before panicking/returning.
+	// Delay is slept before killing/panicking/returning.
 	Delay time.Duration
+	// Kill, when set, makes Fire SIGKILL the calling process — the chaos
+	// harness's "the machine died at exactly this instant" primitive. Fire
+	// never returns from a kill point.
+	Kill bool
 	// Times limits how many Fire calls trigger the fault; afterwards the
 	// key behaves as if no fault were set. 0 means every call triggers.
 	Times int
+	// After skips the first After Fire calls for the key before the fault
+	// starts triggering, so a chaos test can let a prefix of the workload
+	// succeed and die mid-sweep rather than at the first touch.
+	After int
 }
 
 type entry struct {
 	fault Fault
-	fired int
+	calls int // Fire calls observed for this key
+	fired int // Fire calls that actually triggered
 }
 
 var (
@@ -38,7 +51,7 @@ var (
 )
 
 // Set arms the registry and installs (or replaces) the fault for key,
-// resetting its fired count.
+// resetting its call and fired counts.
 func Set(key string, f Fault) {
 	mu.Lock()
 	defer mu.Unlock()
@@ -57,6 +70,11 @@ func Clear() {
 	armed.Store(false)
 }
 
+// Enabled reports whether any fault is armed. Production code can consult it
+// to keep chaos-only slow paths (e.g. two-phase torn-write journaling) off
+// the hot path; like Fire's fast path it is a single atomic load.
+func Enabled() bool { return armed.Load() }
+
 // Fired reports how many times the fault for key has triggered.
 func Fired(key string) int {
 	mu.Lock()
@@ -68,15 +86,20 @@ func Fired(key string) int {
 }
 
 // Fire triggers the fault registered for key, if any: it sleeps Delay, then
-// panics or returns the configured error. With no armed fault it returns nil
-// immediately.
+// kills the process, panics or returns the configured error. With no armed
+// fault it returns nil immediately.
 func Fire(key string) error {
 	if !armed.Load() {
 		return nil
 	}
 	mu.Lock()
 	e, ok := table[key]
-	if !ok || (e.fault.Times > 0 && e.fired >= e.fault.Times) {
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	e.calls++
+	if e.calls <= e.fault.After || (e.fault.Times > 0 && e.fired >= e.fault.Times) {
 		mu.Unlock()
 		return nil
 	}
@@ -86,11 +109,93 @@ func Fire(key string) error {
 	if f.Delay > 0 {
 		time.Sleep(f.Delay)
 	}
+	if f.Kill {
+		kill()
+	}
 	if f.Panic != "" {
 		panic("faultinject: " + f.Panic)
 	}
 	if f.Err != nil {
 		return fmt.Errorf("faultinject: %s: %w", key, f.Err)
+	}
+	return nil
+}
+
+// kill SIGKILLs the calling process and never returns: a kill point models a
+// machine dying at that instant, so no deferred cleanup may run after it.
+func kill() {
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		p.Kill()
+	}
+	// SIGKILL delivery is asynchronous; block until it lands rather than
+	// letting the caller proceed past its own death.
+	select {}
+}
+
+// ArmFromEnv arms the registry from the named environment variable, so a
+// chaos harness can inject faults into a forked subprocess it cannot call
+// Set in. An empty or unset variable is a no-op. The spec grammar is
+//
+//	key=directive[,directive...][;key=...]
+//
+// with directives kill, panic=<msg>, err=<msg>, delay=<duration>,
+// after=<n> and times=<n>; for example
+//
+//	TYCOS_FAULTS='checkpoint/record.torn=kill,after=2'
+//
+// kills the process at the third torn-write injection point. A malformed
+// spec returns an error and arms nothing.
+func ArmFromEnv(name string) error {
+	spec := os.Getenv(name)
+	if spec == "" {
+		return nil
+	}
+	faults := make(map[string]Fault)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, directives, ok := strings.Cut(part, "=")
+		if !ok || key == "" {
+			return fmt.Errorf("faultinject: %s: malformed fault %q (want key=directive,...)", name, part)
+		}
+		var f Fault
+		for _, d := range strings.Split(directives, ",") {
+			verb, arg, _ := strings.Cut(d, "=")
+			switch verb {
+			case "kill":
+				f.Kill = true
+			case "panic":
+				f.Panic = arg
+			case "err":
+				f.Err = fmt.Errorf("%s", arg)
+			case "delay":
+				dur, err := time.ParseDuration(arg)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad delay %q: %v", name, arg, err)
+				}
+				f.Delay = dur
+			case "after":
+				n, err := strconv.Atoi(arg)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad after %q: %v", name, arg, err)
+				}
+				f.After = n
+			case "times":
+				n, err := strconv.Atoi(arg)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad times %q: %v", name, arg, err)
+				}
+				f.Times = n
+			default:
+				return fmt.Errorf("faultinject: %s: unknown directive %q in %q", name, verb, part)
+			}
+		}
+		faults[key] = f
+	}
+	for k, f := range faults {
+		Set(k, f)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -53,6 +54,87 @@ func TestDelayInjection(t *testing.T) {
 	}
 	if d := time.Since(start); d < 30*time.Millisecond {
 		t.Errorf("Fire returned after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestAfterSkipsLeadingCalls(t *testing.T) {
+	defer Clear()
+	boom := errors.New("boom")
+	Set("late", Fault{Err: boom, After: 2, Times: 1})
+	for i := 0; i < 2; i++ {
+		if err := Fire("late"); err != nil {
+			t.Fatalf("fire %d inside the After window: %v", i, err)
+		}
+	}
+	if err := Fire("late"); !errors.Is(err, boom) {
+		t.Fatalf("third fire: %v, want injected error", err)
+	}
+	if err := Fire("late"); err != nil {
+		t.Fatalf("fault fired past its Times budget: %v", err)
+	}
+	if Fired("late") != 1 {
+		t.Errorf("Fired = %d, want 1", Fired("late"))
+	}
+}
+
+func TestEnabledTracksArming(t *testing.T) {
+	Clear()
+	if Enabled() {
+		t.Fatal("Enabled on a cleared registry")
+	}
+	Set("k", Fault{})
+	if !Enabled() {
+		t.Error("Enabled false after Set")
+	}
+	Clear()
+	if Enabled() {
+		t.Error("Enabled true after Clear")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer Clear()
+	t.Setenv("TYCOS_FAULTS_TEST", "a/b=err=transient,after=1,times=2; c=delay=10ms")
+	if err := ArmFromEnv("TYCOS_FAULTS_TEST"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire("a/b"); err != nil {
+		t.Fatalf("fire inside After window: %v", err)
+	}
+	if err := Fire("a/b"); err == nil || !strings.Contains(err.Error(), "transient") || Fired("a/b") != 1 {
+		t.Fatalf("second fire: err=%v fired=%d, want injected error once", err, Fired("a/b"))
+	}
+	start := time.Now()
+	if err := Fire("c"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delay directive not applied (returned after %v)", d)
+	}
+}
+
+func TestArmFromEnvRejectsMalformedSpecs(t *testing.T) {
+	defer Clear()
+	for _, spec := range []string{"nokey", "=err=x", "k=unknownverb", "k=delay=notaduration", "k=after=x"} {
+		Clear()
+		t.Setenv("TYCOS_FAULTS_TEST", spec)
+		if err := ArmFromEnv("TYCOS_FAULTS_TEST"); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+		if Enabled() {
+			t.Errorf("spec %q armed the registry despite the error", spec)
+		}
+	}
+}
+
+func TestArmFromEnvUnsetIsNoop(t *testing.T) {
+	Clear()
+	t.Setenv("TYCOS_FAULTS_TEST", "")
+	if err := ArmFromEnv("TYCOS_FAULTS_TEST"); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Error("empty spec armed the registry")
 	}
 }
 

@@ -75,3 +75,29 @@ func scoreFreeLoop(n int) int {
 	}
 	return s
 }
+
+// DrainQueue mirrors a daemon worker loop gone wrong: it ranges over a task
+// queue scoring work but never consults the context it accepted, so a
+// cancelled daemon would keep scoring until the queue closes.
+func DrainQueue(ctx context.Context, queue chan int) float64 { // want "never uses its context.Context parameter"
+	var c climber
+	var s float64
+	for i := range queue { // want "loop calls the scorer but contains no stop check"
+		s += c.sc.score(i)
+	}
+	return s
+}
+
+// DrainQueueGuarded is the accepted worker-loop shape: each dequeued task
+// re-checks the context before scoring.
+func DrainQueueGuarded(ctx context.Context, queue chan int) float64 {
+	var c climber
+	var s float64
+	for i := range queue {
+		if ctx.Err() != nil {
+			break
+		}
+		s += c.sc.score(i)
+	}
+	return s
+}

@@ -39,3 +39,43 @@ func spawnAllowed(done chan struct{}) {
 		close(done)
 	}()
 }
+
+// pool mirrors the daemon's worker-pool shapes: a fixed set of goroutines
+// ranging over a shared queue.
+type pool struct {
+	queue chan int
+}
+
+func (p *pool) drain() {
+	for range p.queue {
+	}
+}
+
+// spawnMethod is the tempting-but-wrong daemon spawn: a method call hides
+// panic isolation away from the go statement.
+func (p *pool) spawnMethod() {
+	go p.drain() // want "go statement calls a named function"
+}
+
+// spawnWorkerLoop is the accepted worker-pool shape: a range-over-queue
+// literal with a recover backstop visible at the spawn site.
+func (p *pool) spawnWorkerLoop(onLost func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				onLost()
+			}
+		}()
+		for range p.queue {
+		}
+	}()
+}
+
+// spawnServe is the HTTP-listener shape: the serve callee recovers handler
+// panics internally, so the spawn carries a directive naming that path.
+func (p *pool) spawnServe(serve func() error) {
+	//lint:allow gopanic fixture: the server recovers handler panics per connection
+	go func() {
+		_ = serve()
+	}()
+}

@@ -11,6 +11,7 @@ import (
 //
 //	events.<Kind>      — occurrences of each event kind
 //	counters.<name>    — counter totals
+//	gauges.<name>      — last level set for each gauge
 //	phase.<p>.count    — completed runs of each phase
 //	phase.<p>.ns       — cumulative nanoseconds spent in each phase
 //
@@ -41,4 +42,12 @@ func (s *ExpvarSink) Count(name string, delta int64) { s.m.Add("counters."+name,
 func (s *ExpvarSink) PhaseEnd(p Phase, d time.Duration) {
 	s.m.Add("phase."+string(p)+".count", 1)
 	s.m.Add("phase."+string(p)+".ns", int64(d))
+}
+
+// Gauge implements GaugeSink: the level replaces the previous value under
+// gauges.<name>, so /debug/vars shows current depth, not a running sum.
+func (s *ExpvarSink) Gauge(name string, value int64) {
+	v := new(expvar.Int)
+	v.Set(value)
+	s.m.Set("gauges."+name, v)
 }

@@ -1,0 +1,30 @@
+package obs
+
+// GaugeSink is the optional extension a Sink may implement to receive
+// point-in-time levels — queue depth, in-flight requests, drain state —
+// alongside the monotonic counters of the base interface. It is a separate
+// interface rather than a Sink method so existing Sink implementations
+// (including ones outside this repository) keep compiling.
+type GaugeSink interface {
+	// Gauge sets the named gauge to value, replacing the previous level.
+	Gauge(name string, value int64)
+}
+
+// SetGauge forwards a gauge level to s when it supports gauges; other sinks
+// (and nil) ignore it. Multi-composed sinks forward to every member that
+// implements GaugeSink.
+func SetGauge(s Sink, name string, value int64) {
+	if gs, ok := s.(GaugeSink); ok {
+		gs.Gauge(name, value)
+	}
+}
+
+// Gauge implements GaugeSink for multi by forwarding to every member that
+// supports gauges.
+func (m multi) Gauge(name string, value int64) {
+	for _, s := range m {
+		if gs, ok := s.(GaugeSink); ok {
+			gs.Gauge(name, value)
+		}
+	}
+}

@@ -14,6 +14,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	events   map[string]int64
 	counters map[string]int64
+	gauges   map[string]int64
 	phases   map[Phase][]time.Duration
 }
 
@@ -22,6 +23,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		events:   make(map[string]int64),
 		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
 		phases:   make(map[Phase][]time.Duration),
 	}
 }
@@ -45,6 +47,27 @@ func (m *Metrics) PhaseEnd(p Phase, d time.Duration) {
 	m.mu.Lock()
 	m.phases[p] = append(m.phases[p], d)
 	m.mu.Unlock()
+}
+
+// Gauge implements GaugeSink: the named gauge is set to value.
+func (m *Metrics) Gauge(name string, value int64) {
+	m.mu.Lock()
+	m.gauges[name] = value
+	m.mu.Unlock()
+}
+
+// CounterTotal returns the current total of the named counter.
+func (m *Metrics) CounterTotal(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// GaugeValue returns the last level set for the named gauge (0 if never set).
+func (m *Metrics) GaugeValue(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
 }
 
 // EventCount returns the number of events of the given kind seen so far.
@@ -71,6 +94,8 @@ type Snapshot struct {
 	Events map[string]int64
 	// Counters maps counter name → total.
 	Counters map[string]int64
+	// Gauges maps gauge name → last level set.
+	Gauges map[string]int64
 	// Phases maps phase → duration distribution summary.
 	Phases map[Phase]PhaseStats
 }
@@ -83,6 +108,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Events:   make(map[string]int64, len(m.events)),
 		Counters: make(map[string]int64, len(m.counters)),
+		Gauges:   make(map[string]int64, len(m.gauges)),
 		Phases:   make(map[Phase]PhaseStats, len(m.phases)),
 	}
 	for k, v := range m.events {
@@ -90,6 +116,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.counters {
 		s.Counters[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
 	}
 	for p, samples := range m.phases {
 		s.Phases[p] = summarize(samples)

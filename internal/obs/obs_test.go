@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -256,5 +257,30 @@ func TestTraceWriterFlushDrainsBuffer(t *testing.T) {
 	bw.Flush()
 	if buf.Len() == 0 {
 		t.Error("Flush left the line buffered")
+	}
+}
+
+func TestGauges(t *testing.T) {
+	m := NewMetrics()
+	var s Sink = Multi(m, NewTraceWriter(io.Discard))
+	SetGauge(s, "queue_depth", 3)
+	SetGauge(s, "queue_depth", 7) // replaces, does not add
+	SetGauge(s, "inflight", 1)
+	if got := m.GaugeValue("queue_depth"); got != 7 {
+		t.Errorf("queue_depth = %d, want 7 (gauges replace)", got)
+	}
+	snap := m.Snapshot()
+	if snap.Gauges["inflight"] != 1 || snap.Gauges["queue_depth"] != 7 {
+		t.Errorf("snapshot gauges = %v", snap.Gauges)
+	}
+	// A sink with no gauge support (and nil) must be ignored, not panic.
+	SetGauge(NewTraceWriter(io.Discard), "x", 1)
+	SetGauge(nil, "x", 1)
+
+	ev := NewExpvarSink("gauge_test")
+	ev.Gauge("depth", 5)
+	ev.Gauge("depth", 2)
+	if got := expvar.Get("gauge_test").(*expvar.Map).Get("gauges.depth").String(); got != "2" {
+		t.Errorf("expvar gauge = %s, want 2", got)
 	}
 }
