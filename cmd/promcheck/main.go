@@ -1,0 +1,112 @@
+// Command promcheck validates a Prometheus text-exposition payload — the
+// format tycosd serves on GET /metrics — read from a file or stdin. CI's
+// metrics-scrape job pipes a live scrape through it.
+//
+// Usage:
+//
+//	curl -s localhost:8723/metrics | promcheck
+//	promcheck scrape.txt
+//
+// It checks the properties a scraper depends on: HELP/TYPE lines before
+// samples, parseable sample lines, non-negative counters, and histogram
+// buckets with increasing le bounds, monotone cumulative counts and a +Inf
+// bucket matching _count (see internal/obs.CheckExposition).
+//
+// Optional flags assert content beyond validity: -require name fails unless
+// a sample of that metric family is present (repeatable), -min-samples N
+// fails on fewer than N samples total.
+//
+// Exit status: 0 valid, 1 invalid or requirement unmet, 2 usage error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tycos/internal/obs"
+)
+
+// requiredList collects repeated -require flags.
+type requiredList []string
+
+func (r *requiredList) String() string     { return strings.Join(*r, ",") }
+func (r *requiredList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var required requiredList
+	fs.Var(&required, "require", "fail unless this metric family has at least one sample (repeatable)")
+	minSamples := fs.Int("min-samples", 1, "fail on fewer than this many samples")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "promcheck: at most one input file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "promcheck:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+
+	// The payload is read once and checked twice (validity, then -require),
+	// so buffer it.
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "promcheck:", err)
+		return 2
+	}
+	samples, err := obs.CheckExposition(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintln(stderr, "promcheck: invalid exposition:", err)
+		return 1
+	}
+	if samples < *minSamples {
+		fmt.Fprintf(stderr, "promcheck: %d sample(s), want at least %d\n", samples, *minSamples)
+		return 1
+	}
+	for _, name := range required {
+		if !hasFamilySample(data, name) {
+			fmt.Fprintf(stderr, "promcheck: required metric %s has no samples\n", name)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "promcheck: ok (%d samples)\n", samples)
+	return 0
+}
+
+// hasFamilySample reports whether any sample line belongs to the family:
+// the bare name or a histogram suffix, followed by '{', space or tab.
+func hasFamilySample(data []byte, family string) bool {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, name := range []string{family, family + "_bucket", family + "_sum", family + "_count"} {
+			if strings.HasPrefix(line, name) {
+				rest := line[len(name):]
+				if rest != "" && (rest[0] == '{' || rest[0] == ' ' || rest[0] == '\t') {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const valid = `# HELP tycos_x_total x
+# TYPE tycos_x_total counter
+tycos_x_total 3
+# HELP tycos_h_seconds h
+# TYPE tycos_h_seconds histogram
+tycos_h_seconds_bucket{le="+Inf"} 2
+tycos_h_seconds_sum 0.5
+tycos_h_seconds_count 2
+`
+
+func runWith(t *testing.T, args []string, stdin string) (code int, out, errOut string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code = run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunValidStdin(t *testing.T) {
+	code, out, errOut := runWith(t, nil, valid)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "ok (4 samples)") {
+		t.Errorf("stdout = %q, want sample count", out)
+	}
+}
+
+func TestRunInvalidPayload(t *testing.T) {
+	code, _, errOut := runWith(t, nil, "tycos_x_total 1\n")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "invalid exposition") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestRunRequire(t *testing.T) {
+	// Histogram families match through their suffixed samples.
+	code, _, _ := runWith(t, []string{"-require", "tycos_x_total", "-require", "tycos_h_seconds"}, valid)
+	if code != 0 {
+		t.Fatalf("required families present but exit %d", code)
+	}
+	code, _, errOut := runWith(t, []string{"-require", "tycos_missing"}, valid)
+	if code != 1 || !strings.Contains(errOut, "tycos_missing") {
+		t.Fatalf("exit %d, stderr %q; want 1 naming the missing family", code, errOut)
+	}
+}
+
+func TestRunMinSamples(t *testing.T) {
+	if code, _, _ := runWith(t, []string{"-min-samples", "4"}, valid); code != 0 {
+		t.Fatalf("exit %d with exactly enough samples", code)
+	}
+	code, _, errOut := runWith(t, []string{"-min-samples", "5"}, valid)
+	if code != 1 || !strings.Contains(errOut, "want at least 5") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestRunFileInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scrape.txt")
+	if err := os.WriteFile(path, []byte(valid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runWith(t, []string{path}, ""); code != 0 {
+		t.Fatalf("exit %d reading file, stderr %s", code, errOut)
+	}
+	if code, _, _ := runWith(t, []string{path, path}, ""); code != 2 {
+		t.Fatal("two input files accepted")
+	}
+	if code, _, _ := runWith(t, []string{filepath.Join(t.TempDir(), "absent")}, ""); code != 2 {
+		t.Fatal("missing file not a usage error")
+	}
+}

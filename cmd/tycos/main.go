@@ -16,10 +16,11 @@
 // -maxevals bound the run the same way. With -checkpoint, completed pairs of
 // a sweep are journaled so a killed run resumes where it left off.
 //
-// Observability: -trace streams every search event as JSONL, -progress
-// renders a live pair/ETA line on stderr during -all sweeps, -pprof serves
-// net/http/pprof and live expvar counters, and -cpuprofile/-memprofile
-// write pprof-loadable profiles of the run.
+// Observability: -trace streams every search event as JSONL (with
+// -trace-sample R the run carries a deterministic trace ID stamped onto
+// every line), -progress renders a live pair/ETA line on stderr during -all
+// sweeps, -pprof serves net/http/pprof and live expvar counters, and
+// -cpuprofile/-memprofile write pprof-loadable profiles of the run.
 //
 // Exit status: 0 on a complete run, 1 when the search or input loading
 // fails, 2 on usage errors, 3 when the run was interrupted or hit a budget
@@ -86,12 +87,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pairTO   = fs.Duration("pairtimeout", 0, "per-pair wall-clock budget in -all sweeps (0 = none)")
 		ckpt     = fs.String("checkpoint", "", "journal completed sweep pairs to this JSONL file and resume from it")
 
-		traceOut = fs.String("trace", "", "stream search events to this JSONL trace file")
-		progress = fs.Bool("progress", false, "render a live progress/ETA line on stderr (with -all)")
-		pprofSrv = fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = fs.String("memprofile", "", "write an end-of-run heap profile to this file")
-		version  = fs.Bool("version", false, "print build information and exit")
+		traceOut    = fs.String("trace", "", "stream search events to this JSONL trace file")
+		traceSample = fs.Float64("trace-sample", 0, "probability the run is trace-stamped (0..1; deterministic in -seed, stamps -trace lines with trace/span IDs)")
+		progress    = fs.Bool("progress", false, "render a live progress/ETA line on stderr (with -all)")
+		pprofSrv    = fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. localhost:6060)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf     = fs.String("memprofile", "", "write an end-of-run heap profile to this file")
+		version     = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -205,6 +207,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// The run's trace root is a pure function of the seed, and the sampling
+	// decision of the trace ID — so the same invocation always traces (or
+	// doesn't) identically. When sampled, the root rides the context and the
+	// search stamps every -trace line with trace/span IDs.
+	if *traceSample > 0 {
+		root := tycos.NewTrace(*seed, 1)
+		if tycos.NewSampler(*traceSample).Sampled(root.TraceID) {
+			ctx = tycos.ContextWithSpan(ctx, root)
+			fmt.Fprintf(stderr, "tycos: trace %x\n", root.TraceID)
+		}
 	}
 
 	if *all {

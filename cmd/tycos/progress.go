@@ -41,7 +41,8 @@ func newProgressSink(w io.Writer) *progressSink {
 }
 
 func (p *progressSink) Event(e tycos.Event) {
-	pf, ok := e.(tycos.PairFinished)
+	// BaseEvent: with -trace-sample the event may arrive trace-stamped.
+	pf, ok := tycos.BaseEvent(e).(tycos.PairFinished)
 	if !ok {
 		return
 	}

@@ -7,15 +7,22 @@
 // Usage:
 //
 //	tycosbench [-quick] [-out BENCH_HOTPATH.json]
+//	tycosbench -obs [-out BENCH_OBS.json]
 //
 // -quick trims the measurement time for CI smoke runs; the checked-in
-// baseline is produced without it.
+// baseline is produced without it. -obs switches to the observer-overhead
+// suite: one end-to-end search measured under a nil sink, the Metrics
+// aggregator, a discarded JSONL trace, and a trace with span stamping — the
+// numbers behind the README's "observability is ≤ a few percent" claim,
+// written to BENCH_OBS.json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -72,10 +79,22 @@ var baselines = map[string]int64{
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "smoke run: only the per-estimate and slide workloads")
-		out   = flag.String("out", "BENCH_HOTPATH.json", "output file")
+		quick   = flag.Bool("quick", false, "smoke run: only the per-estimate and slide workloads")
+		out     = flag.String("out", "", "output file (default BENCH_HOTPATH.json, or BENCH_OBS.json with -obs)")
+		obsMode = flag.Bool("obs", false, "measure observer overhead (nil sink vs Metrics vs trace vs trace+spans) instead of the MI hot path")
 	)
 	flag.Parse()
+	if *out == "" {
+		if *obsMode {
+			*out = "BENCH_OBS.json"
+		} else {
+			*out = "BENCH_HOTPATH.json"
+		}
+	}
+	if *obsMode {
+		runObs(*out)
+		return
+	}
 
 	rep := report{
 		Benchmark: "tycosbench (MI hot path)",
@@ -236,6 +255,95 @@ func runFull(bench func(func(b *testing.B)) testing.BenchmarkResult, add func(st
 		})
 		add("search/"+v.String(), r, note)
 	}
+}
+
+// runObs measures the observer-overhead suite: the same end-to-end search
+// under increasingly heavy observers. The nil-sink row is the contract —
+// observability disabled must cost nothing — and each later row prices one
+// step up the telemetry ladder. overhead_vs_nil is computed from this run's
+// own nil row, so the column is meaningful on any machine.
+func runObs(out string) {
+	rep := report{
+		Benchmark: "tycosbench -obs (observer overhead)",
+		Description: "End-to-end Search (synth.CorrelatedAR n=1200, SMin=10 SMax=150 TDMax=10, sigma=0.3, " +
+			"variant=LMN, seed=1) under: nil sink (the free default), the Metrics aggregator, a JSONL " +
+			"TraceWriter to io.Discard, and the same TraceWriter with a span in the context so every event " +
+			"is trace-stamped. note carries overhead vs the nil row.",
+		Date: time.Now().Format("2006-01-02"),
+		Runner: runner{
+			CPU:        "see go test -bench output on this host",
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       "all rows run the identical search; only the observer differs",
+		},
+		Benchtime: "1s (testing.Benchmark default)",
+		Reproduce: "go run ./cmd/tycosbench -obs -out BENCH_OBS.json (per-workload equivalent: " +
+			"go test -bench BenchmarkSearchObserver ./internal/core)",
+	}
+
+	scomp, err := synth.CorrelatedAR(1200, 2, 100, 10, 1)
+	if err != nil {
+		fatal(err)
+	}
+	opts := tycos.Options{
+		SMin: 10, SMax: 150, TDMax: 10, Sigma: 0.3,
+		Normalization: tycos.NormMaxEntropy,
+		Variant:       tycos.VariantLMN, Seed: 1,
+	}
+
+	type mode struct {
+		name string
+		sink func() tycos.Observer
+		span bool
+	}
+	modes := []mode{
+		{"search-observer/nil", func() tycos.Observer { return nil }, false},
+		{"search-observer/metrics", func() tycos.Observer { return tycos.NewMetrics() }, false},
+		{"search-observer/trace-discard", func() tycos.Observer { return tycos.NewTraceWriter(io.Discard) }, false},
+		{"search-observer/trace-span", func() tycos.Observer { return tycos.NewTraceWriter(io.Discard) }, true},
+	}
+	var nilNs int64
+	for _, m := range modes {
+		o := opts
+		o.Observer = m.sink()
+		ctx := context.Background()
+		if m.span {
+			ctx = tycos.ContextWithSpan(ctx, tycos.NewTrace(1, 1))
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tycos.SearchContext(ctx, scomp.Pair, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		note := "baseline (observability off)"
+		if nilNs == 0 {
+			nilNs = r.NsPerOp()
+		} else if nilNs > 0 {
+			note = fmt.Sprintf("overhead_vs_nil=%+.1f%%", 100*(float64(r.NsPerOp())/float64(nilNs)-1))
+		}
+		rep.Results = append(rep.Results, result{
+			Workload:    m.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+			Note:        note,
+		})
+		fmt.Fprintf(os.Stderr, "%-30s %12d ns/op %8d B/op %6d allocs/op  %s\n",
+			m.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp(), note)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", out, len(rep.Results))
 }
 
 func fatal(err error) {

@@ -6,15 +6,27 @@
 //
 //	tycosd -addr :8723 [-journal results.jsonl] [-fsync] \
 //	       [-workers N] [-queue N] [-shed reject|degrade] \
-//	       [-maxevals N] [-search-timeout 30s] [-drain-timeout 30s]
+//	       [-maxevals N] [-search-timeout 30s] [-drain-timeout 30s] \
+//	       [-trace events.jsonl] [-trace-sample 0.1] \
+//	       [-slowlog 2s] [-slowlog-file slow.jsonl] [-sample-interval 5s]
 //
 // Endpoints:
 //
 //	GET  /healthz    liveness — 200 while the process runs
 //	GET  /readyz     readiness — 503 while draining or journal-degraded
 //	GET  /statusz    JSON snapshot of queue, series, journal and counters
+//	GET  /metrics    Prometheus text exposition (latency/queue histograms,
+//	                 counters, runtime gauges) for any standard scraper
 //	POST /v1/series  {"name": "rain", "values": [..]} appends points
 //	POST /v1/search  {"x": "rain", "y": "collisions", ...} searches a pair
+//
+// Telemetry: -trace streams every observed search event as JSONL;
+// -trace-sample R stamps that fraction of search requests with a
+// deterministic trace ID (returned in the X-Tycosd-Trace header and carried
+// on every event line the request causes). -slowlog D writes one JSONL line
+// with the full span tree of any search request slower than D to
+// -slowlog-file (stderr by default). -sample-interval paces the runtime
+// gauge sampler (goroutines, heap, GC pause, queue depth).
 //
 // Search responses carry an X-Tycosd-Source header saying how they were
 // produced: "computed" (fresh search), "journal" (crash-safe replay of an
@@ -44,6 +56,7 @@ import (
 
 	"tycos/internal/daemon"
 	"tycos/internal/faultinject"
+	"tycos/internal/obs"
 )
 
 const (
@@ -76,6 +89,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before exiting 1")
 		seed     = fs.Int64("seed", 1, "default search seed and retry-jitter seed")
 		maxBody  = fs.Int64("max-body", 0, "request body size limit in bytes (0 = 32 MiB)")
+
+		traceOut    = fs.String("trace", "", "write a JSONL trace of observed search events to this file")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of search requests stamped with a request trace ID (0..1)")
+		slowlog     = fs.Duration("slowlog", 0, "log the span tree of any search request slower than this (0 = off)")
+		slowlogFile = fs.String("slowlog-file", "", "slow-search JSONL destination (default stderr)")
+		sampleInt   = fs.Duration("sample-interval", 5*time.Second, "runtime gauge sampling interval (negative = startup sample only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -93,6 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxEvalsCap:         *maxEvals,
 		TimeoutCap:          *searchTO,
 		MaxBodyBytes:        *maxBody,
+		TraceSample:         *traceSample,
+		SlowLogThreshold:    *slowlog,
+		SampleInterval:      *sampleInt,
 	}
 	switch *shed {
 	case "reject":
@@ -102,6 +124,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "tycosd: unknown -shed policy %q (want reject or degrade)\n", *shed)
 		return exitUsage
+	}
+
+	// The trace observer and slow-log destination are files owned by this
+	// process; both are flushed/closed on every exit path via defers, which
+	// run after the drain has finished the searches that feed them.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "tycosd:", err)
+			return exitFailure
+		}
+		tw := obs.NewTraceWriter(f)
+		cfg.Observer = tw
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintln(stderr, "tycosd: trace:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *slowlog > 0 {
+		cfg.SlowLog = stderr
+		if *slowlogFile != "" {
+			f, err := os.Create(*slowlogFile)
+			if err != nil {
+				fmt.Fprintln(stderr, "tycosd:", err)
+				return exitFailure
+			}
+			cfg.SlowLog = f
+			defer f.Close()
+		}
 	}
 
 	// TYCOS_FAULTS arms the fault-injection registry in a forked process —

@@ -26,7 +26,7 @@ func (s *panicSink) Event(e obs.Event) {
 		panic("observer exploded on " + ps.Pair)
 	}
 }
-func (s *panicSink) Count(string, int64)            {}
+func (s *panicSink) Count(string, int64)               {}
 func (s *panicSink) PhaseEnd(obs.Phase, time.Duration) {}
 
 // TestSearchAllObserverPanicIsolated pins the gopanic fix: before the sweep

@@ -45,7 +45,7 @@ func parallelTestPair(n int) series.Pair {
 		y[i+2] = x[i] + 0.1*rng.NormFloat64()
 	}
 	ar = 0.0
-	for i := n - 300; i <= n - 220; i++ {
+	for i := n - 300; i <= n-220; i++ {
 		ar = 0.9*ar + rng.NormFloat64()
 		x[i] = ar
 		y[i-1] = -x[i] + 0.1*rng.NormFloat64()

@@ -100,6 +100,24 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 	p = jitterPair(p, opts.Jitter, opts.Seed)
 	sink := opts.Observer
 	pairName := pairLabel(p)
+	// When the caller put a trace span in the context (e.g. the daemon's
+	// per-request root span), every observation of this search is stamped
+	// with a deterministic child span: the observer is wrapped once here, so
+	// worker event buffers stay raw and the byte-identical merge contract is
+	// untouched. The child is qualified by the pair so a sweep's searches get
+	// distinct spans under one request. With no span in the context (or no
+	// observer) this is a no-op and the nil-sink hot path stays free.
+	var searchSpan obs.SpanContext
+	if sink != nil {
+		if sc, ok := obs.SpanFromContext(ctx); ok {
+			name := "search"
+			if pairName != "" {
+				name += ":" + pairName
+			}
+			searchSpan = sc.Child(name)
+			sink = obs.WithSpan(sink, searchSpan)
+		}
+	}
 	var timing Timing
 	timing.Validate = clockSince(start)
 	if sink != nil {
@@ -227,6 +245,9 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 			sink.Event(obs.CandidateAccepted{Pair: pairName, Window: obsWindow(it.Window), Score: it.MI})
 		}
 		emitCounters(sink, opts, stats, counterNames, counterVals)
+		if searchSpan.Valid() {
+			sink.Event(obs.SpanFinished{Name: "search", DurationNS: int64(timing.Total)})
+		}
 	}
 	return Result{Windows: items, Stats: stats, Partial: stop != StopCompleted}, nil
 }

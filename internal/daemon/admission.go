@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"tycos/internal/core"
 	"tycos/internal/faultinject"
@@ -14,7 +15,9 @@ import (
 // task is one admitted search: the prepared pair and options, the request
 // context (cancelled when the client goes away or the request deadline
 // expires), and a buffered result channel so the worker never blocks on a
-// handler that already left.
+// handler that already left. The telemetry fields carry the request's
+// observer fan-out, its trace root (zero when the request is unstamped) and
+// the admission timestamp the queue-wait histogram measures from.
 type task struct {
 	ctx      context.Context
 	pair     series.Pair
@@ -23,6 +26,9 @@ type task struct {
 	jkeyY    string
 	done     chan taskResult
 	pairName string
+	enqueued time.Time
+	sink     obs.Sink
+	span     obs.SpanContext
 }
 
 // taskResult is what a worker hands back to the waiting handler.
@@ -86,6 +92,18 @@ func (s *Server) runTask(t *task) {
 	s.inflight.Add(1)
 	obs.SetGauge(s.sink, "inflight", s.inflight.Load())
 	obs.SetGauge(s.sink, "queue_depth", int64(len(s.queue)))
+	if !t.enqueued.IsZero() {
+		wait := time.Since(t.enqueued)
+		s.queueWait.ObserveDuration(wait)
+		if t.span.Valid() && t.sink != nil {
+			// The queue wait is its own span under the request root, so a
+			// slow trace shows whether time went to queueing or searching.
+			t.sink.Event(obs.Traced{
+				Span:  t.span.Child("queue.wait"),
+				Event: obs.SpanFinished{Name: "queue.wait", DurationNS: int64(wait)},
+			})
+		}
+	}
 	defer func() {
 		s.inflight.Add(-1)
 		obs.SetGauge(s.sink, "inflight", s.inflight.Load())
@@ -146,6 +164,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return nil
 	}
 	obs.SetGauge(s.sink, "draining", 1)
+	s.stopSampler()
 	s.admitMu.Lock()
 	close(s.queue)
 	s.admitMu.Unlock()

@@ -26,6 +26,7 @@ package daemon
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -93,6 +94,24 @@ type Config struct {
 	// Observer, when non-nil, receives every event/counter/gauge the
 	// daemon's internal Metrics sink sees (fanned out with obs.Multi).
 	Observer obs.Sink
+	// TraceSample is the fraction of search requests stamped with a
+	// request-scoped trace (deterministic head sampling on the trace ID;
+	// 0 → none, 1 → all). Sampled requests answer with an X-Tycosd-Trace
+	// header, and every search event they cause carries the trace ID.
+	TraceSample float64
+	// SlowLogThreshold, with SlowLog, enables the slow-search log: any
+	// search whose request takes at least this long writes one JSONL line
+	// with its full span tree to SlowLog. While enabled, every search is
+	// span-stamped (regardless of TraceSample) so a slow line is never
+	// missing its tree.
+	SlowLogThreshold time.Duration
+	// SlowLog is the slow-search log destination (writes are serialised by
+	// the server). Nil disables the slow log.
+	SlowLog io.Writer
+	// SampleInterval is the runtime sampler's tick (goroutines, heap, GC
+	// pause, queue-depth gauges). 0 → 5s; negative disables the ticker —
+	// gauges are still sampled once at startup.
+	SampleInterval time.Duration
 }
 
 // withDefaults returns cfg with zero fields replaced.
@@ -117,6 +136,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 5 * time.Second
 	}
 	return cfg
 }
@@ -143,6 +165,20 @@ type Server struct {
 	journalOK atomic.Bool
 	retry     *retrier
 	mux       *http.ServeMux
+
+	// Telemetry (telemetry.go): the Prometheus registry behind /metrics,
+	// pre-registered route/queue instruments, the deterministic trace
+	// sampler and per-request sequence, the slow-search log, and the
+	// runtime-gauge sampler's lifecycle.
+	registry     *obs.Registry
+	httpLatency  *obs.Vec    // tycos_http_request_duration_seconds{route}
+	httpRequests *obs.Vec    // tycos_http_requests_total{route,code}
+	queueWait    *obs.Series // tycos_queue_wait_seconds
+	sampler      obs.Sampler
+	reqSeq       atomic.Uint64
+	slowMu       sync.Mutex
+	samplerStop  chan struct{}
+	samplerDone  chan struct{}
 }
 
 // New builds a Server, opens its journal (when configured) and starts its
@@ -156,7 +192,11 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *task, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 	}
-	s.sink = obs.Multi(s.metrics, cfg.Observer)
+	s.initTelemetry()
+	// The registry sits in the same fan-out as the Metrics sink, so every
+	// counter, gauge and event the daemon already emits becomes a scrapeable
+	// series with no second instrumentation site.
+	s.sink = obs.Multi(s.metrics, s.registry, cfg.Observer)
 	s.retry = newRetrier(cfg.RetryAttempts, cfg.RetryBase, cfg.Seed)
 	s.journalOK.Store(true)
 	if cfg.JournalPath != "" {
@@ -171,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.routes()
 	s.startWorkers()
+	s.startSampler()
 	return s, nil
 }
 

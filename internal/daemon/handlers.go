@@ -13,6 +13,7 @@ import (
 
 	"tycos/internal/baseline"
 	"tycos/internal/core"
+	"tycos/internal/obs"
 	"tycos/internal/series"
 	"tycos/internal/window"
 )
@@ -22,14 +23,19 @@ import (
 //	GET  /healthz    — liveness: 200 while the process runs
 //	GET  /readyz     — readiness: 503 while draining or journal-degraded
 //	GET  /statusz    — JSON snapshot: queue, series, journal, metrics
+//	GET  /metrics    — Prometheus text exposition of the telemetry registry
 //	POST /v1/series  — append points to a named series (creates it)
 //	POST /v1/search  — delayed-correlation search over two ingested series
+//
+// Every route passes through instrument (telemetry.go), which feeds the
+// per-route latency histogram and the route+code request counter.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
-	s.mux.HandleFunc("POST /v1/series", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /statusz", s.instrument("/statusz", s.handleStatusz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/series", s.instrument("/v1/series", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/search", s.instrument("/v1/search", s.handleSearch))
 }
 
 // httpError writes a JSON error body with the given status.
@@ -301,6 +307,7 @@ func (s *Server) writeSearchResponse(w http.ResponseWriter, req *searchRequest, 
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	var req searchRequest
 	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "search: %v", err)
@@ -356,11 +363,41 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+
+	// Per-request telemetry. Every computed search gets a deterministic
+	// trace root (a pure function of the server seed and the request
+	// sequence number). Stamping is active when the sampler accepts the
+	// trace ID or the slow log is on — the root span rides the context into
+	// core.SearchContext, which stamps every event with a derived child
+	// span. Sampled requests additionally answer with X-Tycosd-Trace so
+	// callers can grep their trace out of the event stream.
+	root := obs.NewTrace(s.cfg.Seed, s.reqSeq.Add(1))
+	sampled := s.sampler.Sampled(root.TraceID)
+	reqSink := s.sink
+	var recorder *obs.SpanRecorder
+	if s.slowLogEnabled() {
+		recorder = obs.NewSpanRecorder(0)
+		reqSink = obs.Multi(s.sink, recorder)
+	}
+	stamping := sampled || recorder != nil
+	if stamping {
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	if sampled {
+		w.Header().Set("X-Tycosd-Trace", hexID(root.TraceID))
+	}
+	opts.Observer = reqSink
+
 	t := &task{
 		ctx: ctx, pair: pair, opts: opts,
 		jkeyX: jx, jkeyY: jy,
 		done:     make(chan taskResult, 1),
 		pairName: req.X + "/" + req.Y,
+		enqueued: time.Now(),
+		sink:     reqSink,
+	}
+	if stamping {
+		t.span = root
 	}
 	switch s.admit(t) {
 	case admitDraining:
@@ -382,6 +419,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if out.err != nil {
 			httpError(w, http.StatusInternalServerError, "search: %v", out.err)
 			return
+		}
+		elapsed := time.Since(reqStart)
+		if stamping {
+			// The request span closes here, after the search and before the
+			// response — the last stamped event of the trace.
+			obs.WithSpan(reqSink, root).Event(obs.SpanFinished{Name: "http.request", DurationNS: int64(elapsed)})
+		}
+		if recorder != nil && elapsed >= s.cfg.SlowLogThreshold {
+			// The slow line is written before the response so a caller that
+			// saw a slow answer can always find its trace in the log.
+			s.writeSlowLog(t.pairName, root, elapsed, out.res, recorder)
 		}
 		s.writeSearchResponse(w, &req, n, out.res, "computed")
 	}

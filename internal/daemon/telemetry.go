@@ -1,0 +1,205 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"tycos/internal/core"
+	"tycos/internal/obs"
+)
+
+// daemonRoutes are the served route patterns, used as the route label of the
+// HTTP instruments. Latency series are pre-created for all of them so a
+// scrape taken before any traffic still shows the full route set.
+var daemonRoutes = []string{
+	"/healthz", "/readyz", "/statusz", "/metrics", "/v1/series", "/v1/search",
+}
+
+// initTelemetry builds the Prometheus registry and its pre-registered
+// instruments, and configures the trace sampler. Runs before routes() so the
+// middleware can capture its series handles.
+func (s *Server) initTelemetry() {
+	s.registry = obs.NewRegistry()
+	s.httpLatency = s.registry.HistogramVec("tycos_http_request_duration_seconds",
+		"HTTP request latency by route, in seconds.", "route")
+	s.httpRequests = s.registry.CounterVec("tycos_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.queueWait = s.registry.Histogram("tycos_queue_wait_seconds",
+		"Time admitted search tasks spent queued before a worker picked them up.")
+	for _, route := range daemonRoutes {
+		s.httpLatency.With(route)
+	}
+	s.sampler = obs.NewSampler(s.cfg.TraceSample)
+}
+
+// statusWriter captures the response status code for the request counter;
+// an unset code means the handler wrote a body (or nothing) without
+// WriteHeader, which net/http treats as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route handler with the per-route latency histogram
+// and the route+code request counter.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.httpLatency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		lat.ObserveDuration(time.Since(start))
+		s.httpRequests.With(route, strconv.Itoa(code)).Inc()
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WritePrometheus(w)
+}
+
+// hexID renders a trace/span ID the way trace lines do.
+func hexID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// slowLogEnabled reports whether slow-search logging is configured.
+func (s *Server) slowLogEnabled() bool {
+	return s.cfg.SlowLogThreshold > 0 && s.cfg.SlowLog != nil
+}
+
+// slowSpan is one captured observation inside a slow-search log line.
+type slowSpan struct {
+	Span   string    `json:"span,omitempty"`
+	Parent string    `json:"parent,omitempty"`
+	Event  string    `json:"event"`
+	Data   obs.Event `json:"data,omitempty"`
+}
+
+// slowEntry is one line of the slow-search JSONL log: the request identity,
+// how slow it was, and the full span tree its recorder captured.
+type slowEntry struct {
+	TS          string     `json:"ts"`
+	Trace       string     `json:"trace,omitempty"`
+	Pair        string     `json:"pair"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+	ThresholdMS float64    `json:"threshold_ms"`
+	StopReason  string     `json:"stop_reason,omitempty"`
+	Partial     bool       `json:"partial,omitempty"`
+	Dropped     int        `json:"dropped,omitempty"`
+	Spans       []slowSpan `json:"spans"`
+}
+
+// writeSlowLog emits one slow-search line. It runs before the HTTP response
+// is written, so once a caller sees a slow response the log line is already
+// durable in order.
+func (s *Server) writeSlowLog(pair string, root obs.SpanContext, elapsed time.Duration, res core.Result, rec *obs.SpanRecorder) {
+	events, dropped := rec.Events()
+	entry := slowEntry{
+		TS:          time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:       hexID(root.TraceID),
+		Pair:        pair,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+		ThresholdMS: float64(s.cfg.SlowLogThreshold) / float64(time.Millisecond),
+		StopReason:  string(res.Stats.StopReason),
+		Partial:     res.Partial,
+		Dropped:     dropped,
+		Spans:       make([]slowSpan, 0, len(events)),
+	}
+	for _, ev := range events {
+		sp := slowSpan{Event: ev.Event.Kind(), Data: ev.Event}
+		if ev.Span.Valid() {
+			sp.Span = hexID(ev.Span.SpanID)
+			if ev.Span.Parent != 0 {
+				sp.Parent = hexID(ev.Span.Parent)
+			}
+		}
+		entry.Spans = append(entry.Spans, sp)
+	}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	s.cfg.SlowLog.Write(append(b, '\n'))
+	s.slowMu.Unlock()
+	s.sink.Count("daemon.slow_searches", 1)
+}
+
+// sampleRuntime publishes one round of process-level gauges. It runs once at
+// startup (so /statusz and /metrics show gauges before the first tick) and
+// then on the sampler ticker.
+func (s *Server) sampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	obs.SetGauge(s.sink, "runtime.goroutines", int64(runtime.NumGoroutine()))
+	obs.SetGauge(s.sink, "runtime.heap_bytes", int64(ms.HeapAlloc))
+	obs.SetGauge(s.sink, "runtime.gc_pause_total_ns", int64(ms.PauseTotalNs))
+	obs.SetGauge(s.sink, "runtime.gc_cycles", int64(ms.NumGC))
+	obs.SetGauge(s.sink, "queue_depth", int64(len(s.queue)))
+	obs.SetGauge(s.sink, "inflight", s.inflight.Load())
+	if s.draining.Load() {
+		obs.SetGauge(s.sink, "draining", 1)
+	} else {
+		obs.SetGauge(s.sink, "draining", 0)
+	}
+}
+
+// startSampler pre-warms the gauges and, unless disabled, starts the ticker
+// goroutine. Drain stops it.
+func (s *Server) startSampler() {
+	s.sampleRuntime()
+	if s.cfg.SampleInterval < 0 {
+		return
+	}
+	s.samplerStop = make(chan struct{})
+	s.samplerDone = make(chan struct{})
+	go func() {
+		defer close(s.samplerDone)
+		defer func() {
+			if r := recover(); r != nil {
+				s.sink.Count("daemon.sampler_lost", 1)
+			}
+		}()
+		t := time.NewTicker(s.cfg.SampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.samplerStop:
+				return
+			case <-t.C:
+				s.sampleRuntime()
+			}
+		}
+	}()
+}
+
+// stopSampler stops the ticker goroutine and waits for it to exit. Called at
+// most once, from Drain's CAS-guarded section.
+func (s *Server) stopSampler() {
+	if s.samplerStop == nil {
+		return
+	}
+	close(s.samplerStop)
+	<-s.samplerDone
+}

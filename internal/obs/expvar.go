@@ -46,8 +46,16 @@ func (s *ExpvarSink) PhaseEnd(p Phase, d time.Duration) {
 
 // Gauge implements GaugeSink: the level replaces the previous value under
 // gauges.<name>, so /debug/vars shows current depth, not a running sum.
+// The expvar.Int is created once per name and reused on later sets — Set on
+// a fresh variable every call would allocate (and churn the map entry) on
+// what is a high-frequency path for queue-depth gauges.
 func (s *ExpvarSink) Gauge(name string, value int64) {
+	key := "gauges." + name
+	if v, ok := s.m.Get(key).(*expvar.Int); ok && v != nil {
+		v.Set(value)
+		return
+	}
 	v := new(expvar.Int)
 	v.Set(value)
-	s.m.Set("gauges."+name, v)
+	s.m.Set(key, v)
 }

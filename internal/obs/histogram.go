@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the number of finite buckets in every Histogram: upper
+// bounds double from histMinUpper, so 36 buckets span 1µs to ~68719s (about
+// 19 hours) — the full plausible range of request latencies and queue waits
+// — in a fixed-size array that never reallocates.
+const HistogramBuckets = 36
+
+// histMinUpper is the upper bound of the first bucket, in the histogram's
+// value unit (seconds for latency histograms): 1µs.
+const histMinUpper = 1e-6
+
+// Histogram is an allocation-free, concurrency-safe distribution of float64
+// observations over log₂-spaced buckets. All state is a fixed array of
+// atomics: Observe is a few arithmetic operations plus two atomic adds and a
+// CAS loop for the sum — no locks, no allocation — so it can sit on the
+// daemon's per-request path without budget concerns.
+//
+// The bucket layout is fixed (HistogramBuckets doublings of histMinUpper)
+// rather than configurable: every histogram in the process shares one shape,
+// which keeps rendering, checking and cross-metric comparison trivial, and
+// log-spaced bounds put constant relative resolution (~2×) everywhere on the
+// latency axis, which is what tail analysis needs.
+type Histogram struct {
+	// counts[i] holds observations in (upper(i-1), upper(i)]; the final
+	// element is the +Inf overflow bucket. The total count is the sum of
+	// the buckets — deriving it instead of keeping a separate atomic is
+	// what makes a concurrent snapshot's `_count == +Inf bucket` invariant
+	// hold exactly, which the Prometheus exposition checker asserts.
+	counts [HistogramBuckets + 1]atomic.Int64
+	// sumBits is the float64 sum of all observations, stored as bits and
+	// updated by CAS so Observe never needs a lock.
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// HistogramUpper returns the upper bound of finite bucket i.
+func HistogramUpper(i int) float64 {
+	return histMinUpper * float64(uint64(1)<<uint(i))
+}
+
+// bucketIndex maps an observation to its bucket: the smallest i with
+// v ≤ upper(i), or the overflow bucket past the last finite bound.
+func bucketIndex(v float64) int {
+	if v <= histMinUpper {
+		return 0
+	}
+	// Past the last finite bound: overflow. Checked before the log so a huge
+	// v cannot overflow v/histMinUpper to +Inf, whose int conversion is
+	// platform-defined (negative on amd64) and would land in bucket 0.
+	if v > HistogramUpper(HistogramBuckets-1) {
+		return HistogramBuckets
+	}
+	// ceil(log2(v/min)); Log2 is exact on the bucket boundaries themselves
+	// because they are powers of two times histMinUpper.
+	i := int(math.Ceil(math.Log2(v / histMinUpper)))
+	if i >= HistogramBuckets {
+		return HistogramBuckets
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Observe records one observation. Non-finite values are dropped — a NaN
+// would poison the sum forever and carries no latency information.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the Prometheus base unit
+// for time.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, with
+// per-bucket (non-cumulative) counts aligned to HistogramUpper bounds and
+// the +Inf overflow in Overflow.
+type HistogramSnapshot struct {
+	Buckets  [HistogramBuckets]int64
+	Overflow int64
+	Count    int64
+	Sum      float64
+}
+
+// Snapshot copies the current state. Counts are read bucket-by-bucket, so a
+// snapshot taken during concurrent observation is approximately — not
+// transactionally — consistent, which is all a scrape needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := 0; i < HistogramBuckets; i++ {
+		s.Buckets[i] = h.counts[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Overflow = h.counts[HistogramBuckets].Load()
+	s.Count += s.Overflow
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// An observation exactly on a bucket's upper bound lands in that bucket
+	// (le is inclusive); just above it spills into the next.
+	for i := 0; i < HistogramBuckets-1; i++ {
+		h := NewHistogram()
+		upper := HistogramUpper(i)
+		h.Observe(upper)
+		h.Observe(upper * 1.0001)
+		s := h.Snapshot()
+		if s.Buckets[i] != 1 {
+			t.Fatalf("bucket %d (le=%v): got %d on-bound observations, want 1", i, upper, s.Buckets[i])
+		}
+		if s.Buckets[i+1] != 1 {
+			t.Fatalf("bucket %d: observation just above %v not in next bucket", i+1, upper)
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)                   // at/below the first bound → bucket 0
+	h.Observe(-1)                  // negative durations (clock weirdness) → bucket 0
+	h.Observe(histMinUpper)        // exactly the first bound → bucket 0
+	h.Observe(math.MaxFloat64 / 2) // beyond the last finite bound → overflow
+	s := h.Snapshot()
+	if s.Buckets[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", s.Buckets[0])
+	}
+	if s.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", s.Overflow)
+	}
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+}
+
+func TestHistogramDropsNonFinite(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("non-finite observations recorded: count=%d sum=%v", s.Count, s.Sum)
+	}
+	// The sum stays usable afterwards.
+	h.Observe(2.5)
+	if s := h.Snapshot(); s.Count != 1 || s.Sum != 2.5 {
+		t.Fatalf("after NaN: count=%d sum=%v, want 1, 2.5", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(time.Millisecond) // 1e-3 s = bucket with upper 2^10µs? — just assert via bucketIndex
+	s := h.Snapshot()
+	want := bucketIndex(0.001)
+	if s.Buckets[want] != 1 {
+		t.Fatalf("1ms not in bucket %d: %v", want, s.Buckets)
+	}
+	if s.Sum != 0.001 {
+		t.Fatalf("sum = %v, want 0.001", s.Sum)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.00042) }); n != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", n)
+	}
+}
+
+func TestHistogramConcurrentCountInvariant(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshots taken mid-flight must keep Count equal to the bucket totals
+	// (the property the exposition's +Inf bucket == _count check relies on).
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			total := s.Overflow
+			for _, b := range s.Buckets {
+				total += b
+			}
+			if total != s.Count {
+				t.Errorf("snapshot count %d != bucket total %d", s.Count, total)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*perWorker+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("final count %d, want %d", s.Count, workers*perWorker)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotEmpty(t *testing.T) {
+	s := NewMetrics().Snapshot()
+	if len(s.Events) != 0 || len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Phases) != 0 {
+		t.Fatalf("empty metrics produced a non-empty snapshot: %+v", s)
+	}
+}
+
+func TestSnapshotQuantileSingleSample(t *testing.T) {
+	m := NewMetrics()
+	m.PhaseEnd(Phase("climb"), 7*time.Millisecond)
+	st := m.Snapshot().Phases[Phase("climb")]
+	want := 7 * time.Millisecond
+	if st.Count != 1 || st.Min != want || st.P50 != want || st.P99 != want || st.Max != want || st.Total != want {
+		t.Fatalf("single-sample stats = %+v, want all %v", st, want)
+	}
+}
+
+func TestSnapshotQuantileAllEqual(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 50; i++ {
+		m.PhaseEnd(Phase("climb"), 3*time.Millisecond)
+	}
+	st := m.Snapshot().Phases[Phase("climb")]
+	want := 3 * time.Millisecond
+	if st.Min != want || st.P50 != want || st.P99 != want || st.Max != want {
+		t.Fatalf("all-equal stats = %+v, want all %v", st, want)
+	}
+	if st.Total != 50*want {
+		t.Fatalf("total = %v, want %v", st.Total, 50*want)
+	}
+}
+
+func TestSnapshotQuantileNearestRank(t *testing.T) {
+	m := NewMetrics()
+	// 100 distinct samples 1ms..100ms, inserted out of order.
+	for i := 100; i >= 1; i-- {
+		m.PhaseEnd(Phase("climb"), time.Duration(i)*time.Millisecond)
+	}
+	st := m.Snapshot().Phases[Phase("climb")]
+	if st.P50 != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", st.P50)
+	}
+	if st.P99 != 99*time.Millisecond {
+		t.Fatalf("P99 = %v, want 99ms", st.P99)
+	}
+	if st.Min != time.Millisecond || st.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", st.Min, st.Max)
+	}
+
+	// Two samples: nearest-rank P50 is the smaller one (ceil(2·0.5) = rank 1).
+	m2 := NewMetrics()
+	m2.PhaseEnd(Phase("x"), 1*time.Millisecond)
+	m2.PhaseEnd(Phase("x"), 9*time.Millisecond)
+	st2 := m2.Snapshot().Phases[Phase("x")]
+	if st2.P50 != time.Millisecond {
+		t.Fatalf("two-sample P50 = %v, want 1ms", st2.P50)
+	}
+	if st2.P99 != 9*time.Millisecond {
+		t.Fatalf("two-sample P99 = %v, want 9ms", st2.P99)
+	}
+}
+
+// TestMetricsSnapshotHammer drives every Sink method and Snapshot from many
+// goroutines at once; run under -race it is the aggregator's concurrency
+// regression test, and the final totals check that no update was lost.
+func TestMetricsSnapshotHammer(t *testing.T) {
+	m := NewMetrics()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Event(ClimbFinished{Restart: i})
+				m.Count("steps", 2)
+				m.Gauge("depth", int64(i))
+				m.PhaseEnd(Phase("climb"), time.Duration(i)*time.Microsecond)
+				if i%50 == 0 {
+					s := m.Snapshot()
+					if got := s.Phases[Phase("climb")]; got.Count > 0 && got.Min > got.Max {
+						t.Errorf("inconsistent snapshot: %+v", got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if got := s.Events["ClimbFinished"]; got != workers*perWorker {
+		t.Fatalf("events = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Counters["steps"]; got != 2*workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := s.Phases[Phase("climb")].Count; got != workers*perWorker {
+		t.Fatalf("phase samples = %d, want %d", got, workers*perWorker)
+	}
+	if _, ok := s.Gauges["depth"]; !ok {
+		t.Fatal("gauge missing from snapshot")
+	}
+}
+
+// TestExpvarGaugeReuse pins the allocation fix: setting the same gauge twice
+// must reuse the published expvar.Int, not churn a fresh one per call.
+func TestExpvarGaugeReuse(t *testing.T) {
+	s := NewExpvarSink("test.gauge.reuse")
+	s.Gauge("depth", 3)
+	first, ok := s.m.Get("gauges.depth").(*expvar.Int)
+	if !ok || first == nil {
+		t.Fatalf("gauge not published as *expvar.Int: %#v", s.m.Get("gauges.depth"))
+	}
+	s.Gauge("depth", 8)
+	second := s.m.Get("gauges.depth").(*expvar.Int)
+	if first != second {
+		t.Fatal("second Gauge call replaced the expvar.Int instead of reusing it")
+	}
+	if got := second.Value(); got != 8 {
+		t.Fatalf("gauge value = %d, want 8", got)
+	}
+	// Steady state costs at most the key concatenation — no new expvar.Int,
+	// no map entry churn.
+	if n := testing.AllocsPerRun(100, func() { s.Gauge("depth", 5) }); n > 1 {
+		t.Fatalf("steady-state Gauge allocates %v times per call, want at most 1", n)
+	}
+}
+
+// TestSnapshotDetached guards against snapshot aliasing: mutating the source
+// after Snapshot must not change the snapshot.
+func TestSnapshotDetached(t *testing.T) {
+	m := NewMetrics()
+	m.Count("steps", 1)
+	m.PhaseEnd(Phase("climb"), time.Millisecond)
+	s := m.Snapshot()
+	m.Count("steps", 100)
+	m.PhaseEnd(Phase("climb"), time.Hour)
+	if s.Counters["steps"] != 1 {
+		t.Fatalf("snapshot counter mutated: %d", s.Counters["steps"])
+	}
+	if s.Phases[Phase("climb")].Max != time.Millisecond {
+		t.Fatalf("snapshot phase mutated: %+v", s.Phases[Phase("climb")])
+	}
+	_ = fmt.Sprintf("%+v", s) // snapshots must be printable (no private state)
+}

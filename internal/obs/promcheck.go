@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-exposition (version 0.0.4)
+// payload — the contract GET /metrics promises scrapers. It is deliberately
+// a checker, not a full parser: it verifies the properties a real scrape
+// depends on and that regressions would silently corrupt:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE lines,
+//     in that order, exactly once;
+//   - sample names match the family (bare, or _bucket/_sum/_count for
+//     histograms) and values parse as numbers;
+//   - counter values are non-negative;
+//   - histogram buckets have strictly increasing le bounds ending in +Inf,
+//     cumulative counts are monotonically non-decreasing, and the +Inf
+//     bucket equals the _count sample.
+//
+// It returns the number of samples checked and the first violation found.
+// Both the registry's own tests and the CI metrics-scrape job (via
+// cmd/promcheck) run scrapes through this.
+func CheckExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	type familyState struct {
+		typ       string
+		hasHelp   bool
+		hasType   bool
+		sawSample bool
+		// histogram per-series bucket tracking, keyed by the sample's label
+		// set minus le.
+		buckets map[string][]bucketPoint
+		counts  map[string]float64
+		hasCnt  map[string]bool
+	}
+	families := map[string]*familyState{}
+	family := func(name string) *familyState {
+		f, ok := families[name]
+		if !ok {
+			f = &familyState{
+				buckets: map[string][]bucketPoint{},
+				counts:  map[string]float64{},
+				hasCnt:  map[string]bool{},
+			}
+			families[name] = f
+		}
+		return f
+	}
+	// owner maps a sample name (possibly suffixed) to its histogram family.
+	histOwner := func(name string) (base, suffix string, f *familyState) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				b := strings.TrimSuffix(name, suf)
+				if f, ok := families[b]; ok && f.typ == "histogram" {
+					return b, suf, f
+				}
+			}
+		}
+		return "", "", nil
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			f := family(name)
+			switch fields[1] {
+			case "HELP":
+				if f.hasHelp {
+					return samples, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if f.hasType || f.sawSample {
+					return samples, fmt.Errorf("line %d: HELP for %s after its TYPE or samples", lineNo, name)
+				}
+				f.hasHelp = true
+			case "TYPE":
+				if f.hasType {
+					return samples, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if f.sawSample {
+					return samples, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return samples, fmt.Errorf("line %d: TYPE line for %s missing a type", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, fields[3], name)
+				}
+				f.hasType = true
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+
+		// Resolve the owning family: exact name, or histogram suffix.
+		f, ok := families[name]
+		base, suffix := name, ""
+		if !ok || !f.hasType {
+			base, suffix, f = histOwner(name)
+			if f == nil {
+				return samples, fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE", lineNo, name)
+			}
+		}
+		if !f.hasHelp || !f.hasType {
+			return samples, fmt.Errorf("line %d: family %s is missing HELP or TYPE before samples", lineNo, base)
+		}
+		f.sawSample = true
+
+		switch f.typ {
+		case "counter":
+			if value < 0 {
+				return samples, fmt.Errorf("line %d: counter %s has negative value %v", lineNo, name, value)
+			}
+		case "histogram":
+			key := labelsKeyWithoutLe(labels)
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return samples, fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				bound, berr := parseLe(le)
+				if berr != nil {
+					return samples, fmt.Errorf("line %d: %v", lineNo, berr)
+				}
+				f.buckets[key] = append(f.buckets[key], bucketPoint{le: bound, cum: value})
+			case "_count":
+				f.counts[key] = value
+				f.hasCnt[key] = true
+			case "_sum":
+				// value already checked numeric; no further constraint.
+			default:
+				return samples, fmt.Errorf("line %d: histogram family %s has bare sample %s", lineNo, base, name)
+			}
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return samples, serr
+	}
+
+	// Per-series histogram invariants, in deterministic order for stable
+	// error messages.
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if f.typ != "histogram" {
+			continue
+		}
+		keys := make([]string, 0, len(f.buckets))
+		for k := range f.buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pts := f.buckets[k]
+			for i := 1; i < len(pts); i++ {
+				if !(pts[i].le > pts[i-1].le) {
+					return samples, fmt.Errorf("histogram %s{%s}: le bounds not strictly increasing (%v after %v)",
+						name, k, pts[i].le, pts[i-1].le)
+				}
+				if pts[i].cum < pts[i-1].cum {
+					return samples, fmt.Errorf("histogram %s{%s}: cumulative bucket counts decrease (%v after %v)",
+						name, k, pts[i].cum, pts[i-1].cum)
+				}
+			}
+			last := pts[len(pts)-1]
+			if !isInf(last.le) {
+				return samples, fmt.Errorf("histogram %s{%s}: last bucket bound is %v, want +Inf", name, k, last.le)
+			}
+			//lint:allow floateq the exposition invariant is exact equality of two rendered integer counts, not a computed-float comparison
+			if f.hasCnt[k] && f.counts[k] != last.cum {
+				return samples, fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v",
+					name, k, f.counts[k], last.cum)
+			}
+			if !f.hasCnt[k] {
+				return samples, fmt.Errorf("histogram %s{%s}: missing _count sample", name, k)
+			}
+		}
+	}
+	return samples, nil
+}
+
+// bucketPoint is one le-bound and its cumulative count.
+type bucketPoint struct {
+	le  float64
+	cum float64
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+// parseLe parses an le label value, accepting "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q: %v", s, err)
+	}
+	return v, nil
+}
+
+// parseSample parses one exposition sample line:
+//
+//	name{k="v",...} value [timestamp]
+//
+// Timestamps are tolerated and ignored.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	// Metric name runs to '{' or whitespace.
+	i := strings.IndexAny(rest, "{ \t")
+	if i <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq <= 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[key] = val.String()
+			rest = strings.TrimLeft(rest, " \t")
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value (and optional timestamp) in %q", line)
+	}
+	if fields[0] == "+Inf" || fields[0] == "-Inf" || fields[0] == "NaN" {
+		return "", nil, 0, fmt.Errorf("non-finite sample value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// labelsKeyWithoutLe renders a label set (minus le) as a deterministic key.
+func labelsKeyWithoutLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const validExposition = `# HELP tycos_requests_total Requests served.
+# TYPE tycos_requests_total counter
+tycos_requests_total{route="/v1/search"} 4
+tycos_requests_total{route="/healthz"} 10
+# HELP tycos_queue_depth Queue depth.
+# TYPE tycos_queue_depth gauge
+tycos_queue_depth -2
+# HELP tycos_latency_seconds Request latency.
+# TYPE tycos_latency_seconds histogram
+tycos_latency_seconds_bucket{le="0.001"} 1
+tycos_latency_seconds_bucket{le="0.01"} 3
+tycos_latency_seconds_bucket{le="+Inf"} 5
+tycos_latency_seconds_sum 0.42
+tycos_latency_seconds_count 5
+`
+
+func TestCheckExpositionValid(t *testing.T) {
+	samples, err := CheckExposition(strings.NewReader(validExposition))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if samples != 8 {
+		t.Fatalf("counted %d samples, want 8", samples)
+	}
+}
+
+func TestCheckExpositionViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantErr string
+	}{
+		{
+			"sample without HELP/TYPE",
+			"tycos_x_total 1\n",
+			"no preceding HELP/TYPE",
+		},
+		{
+			"sample before its TYPE",
+			"# HELP tycos_x_total x\ntycos_x_total 1\n# TYPE tycos_x_total counter\n",
+			"no preceding HELP/TYPE",
+		},
+		{
+			"sample with TYPE but no HELP",
+			"# TYPE tycos_x_total counter\ntycos_x_total 1\n",
+			"missing HELP or TYPE",
+		},
+		{
+			"HELP after TYPE",
+			"# TYPE tycos_x_total counter\n# HELP tycos_x_total x\ntycos_x_total 1\n",
+			"after its TYPE",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP tycos_x_total x\n# TYPE tycos_x_total counter\n# TYPE tycos_x_total counter\n",
+			"duplicate TYPE",
+		},
+		{
+			"unknown type",
+			"# HELP tycos_x_total x\n# TYPE tycos_x_total enum\n",
+			"unknown metric type",
+		},
+		{
+			"negative counter",
+			"# HELP tycos_x_total x\n# TYPE tycos_x_total counter\ntycos_x_total -1\n",
+			"negative value",
+		},
+		{
+			"non-increasing le bounds",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\n" +
+				`tycos_h_bucket{le="0.01"} 1` + "\n" +
+				`tycos_h_bucket{le="0.001"} 2` + "\n" +
+				`tycos_h_bucket{le="+Inf"} 2` + "\n" +
+				"tycos_h_sum 1\ntycos_h_count 2\n",
+			"not strictly increasing",
+		},
+		{
+			"cumulative counts decrease",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\n" +
+				`tycos_h_bucket{le="0.001"} 3` + "\n" +
+				`tycos_h_bucket{le="0.01"} 2` + "\n" +
+				`tycos_h_bucket{le="+Inf"} 3` + "\n" +
+				"tycos_h_sum 1\ntycos_h_count 3\n",
+			"counts decrease",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\n" +
+				`tycos_h_bucket{le="0.001"} 1` + "\n" +
+				`tycos_h_bucket{le="0.01"} 2` + "\n" +
+				"tycos_h_sum 1\ntycos_h_count 2\n",
+			"want +Inf",
+		},
+		{
+			"_count disagrees with +Inf bucket",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\n" +
+				`tycos_h_bucket{le="+Inf"} 5` + "\n" +
+				"tycos_h_sum 1\ntycos_h_count 4\n",
+			"_count",
+		},
+		{
+			"missing _count",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\n" +
+				`tycos_h_bucket{le="+Inf"} 5` + "\n" +
+				"tycos_h_sum 1\n",
+			"missing _count",
+		},
+		{
+			"bucket without le",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\n" +
+				`tycos_h_bucket{route="/x"} 5` + "\n",
+			"missing le",
+		},
+		{
+			"bare sample on histogram family",
+			"# HELP tycos_h h\n# TYPE tycos_h histogram\ntycos_h 5\n",
+			"bare sample",
+		},
+		{
+			"malformed sample line",
+			"# HELP tycos_x_total x\n# TYPE tycos_x_total counter\ntycos_x_total\n",
+			"malformed sample",
+		},
+		{
+			"unparseable value",
+			"# HELP tycos_x_total x\n# TYPE tycos_x_total counter\ntycos_x_total banana\n",
+			"bad sample value",
+		},
+		{
+			"non-finite value",
+			"# HELP tycos_g g\n# TYPE tycos_g gauge\ntycos_g NaN\n",
+			"non-finite",
+		},
+		{
+			"unterminated label set",
+			"# HELP tycos_x_total x\n# TYPE tycos_x_total counter\n" + `tycos_x_total{route="/x" 1` + "\n",
+			"malformed label",
+		},
+		{
+			"invalid metric name",
+			"# HELP tycos_x x\n# TYPE tycos_x counter\n9bad 1\n",
+			"invalid metric name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CheckExposition(strings.NewReader(tc.payload))
+			if err == nil {
+				t.Fatalf("accepted invalid payload:\n%s", tc.payload)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckExpositionToleratesTimestampsAndBlankLines(t *testing.T) {
+	payload := "# HELP tycos_x_total x\n# TYPE tycos_x_total counter\n\ntycos_x_total 3 1700000000000\n"
+	if _, err := CheckExposition(strings.NewReader(payload)); err != nil {
+		t.Fatalf("timestamped sample rejected: %v", err)
+	}
+}
+
+func TestParseSampleEscapes(t *testing.T) {
+	name, labels, value, err := parseSample(`tycos_x{v="a\"b\\c\nd",w="plain"} 2.5`)
+	if err != nil {
+		t.Fatalf("parseSample: %v", err)
+	}
+	if name != "tycos_x" || value != 2.5 {
+		t.Fatalf("got name=%q value=%v", name, value)
+	}
+	if labels["v"] != "a\"b\\c\nd" || labels["w"] != "plain" {
+		t.Fatalf("labels = %#v", labels)
+	}
+}

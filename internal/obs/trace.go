@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -19,6 +20,13 @@ import (
 // {"phase":"climb","duration_ns":123}, or — as the final line written by
 // Close — "Counters" with data {"<name>":<total>,...} holding every counter
 // accumulated over the trace's lifetime, keys sorted.
+//
+// Events arriving stamped (wrapped in Traced, or via SpanPhaseEnd) add hex
+// trace/span/parent fields to the line:
+//
+//	{"ts":...,"event":"ClimbFinished","trace":"9ab...","span":"41c...","parent":"7fe...","data":{...}}
+//
+// so every line of one request can be grepped by its trace ID.
 //
 // Writes are buffered; call Close (or Flush) to drain them. The first write
 // or marshal error is sticky and returned by Flush/Close; later lines are
@@ -41,18 +49,28 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	}
 }
 
-// traceLine is the on-disk shape of one trace line.
+// traceLine is the on-disk shape of one trace line. Trace/span/parent are
+// lower-case hex IDs, omitted for unstamped lines so untraced runs keep the
+// original schema byte for byte.
 type traceLine struct {
-	TS    string `json:"ts"`
-	Event string `json:"event"`
-	Data  any    `json:"data,omitempty"`
+	TS     string `json:"ts"`
+	Event  string `json:"event"`
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Data   any    `json:"data,omitempty"`
 }
 
-// Event implements Sink.
+// Event implements Sink. A Traced event is unwrapped: the base event becomes
+// the line's kind and data, the span its trace/span/parent columns.
 func (t *TraceWriter) Event(e Event) {
+	var sc SpanContext
+	if tr, ok := e.(Traced); ok {
+		sc, e = tr.Span, Base(tr.Event)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.write(e.Kind(), e)
+	t.writeSpan(e.Kind(), sc, e)
 }
 
 // phaseData is the payload of a "PhaseFinished" line.
@@ -68,6 +86,14 @@ func (t *TraceWriter) PhaseEnd(p Phase, d time.Duration) {
 	t.write("PhaseFinished", phaseData{Phase: string(p), DurationNS: int64(d)})
 }
 
+// SpanPhaseEnd implements SpanPhaseSink: the phase timing line carries the
+// span that produced it.
+func (t *TraceWriter) SpanPhaseEnd(sc SpanContext, p Phase, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.writeSpan("PhaseFinished", sc, phaseData{Phase: string(p), DurationNS: int64(d)})
+}
+
 // Count implements Sink. Counter deltas are accumulated, not written per
 // call; Close emits the totals as the trace's final "Counters" line.
 func (t *TraceWriter) Count(name string, delta int64) {
@@ -76,16 +102,30 @@ func (t *TraceWriter) Count(name string, delta int64) {
 	t.counts[name] += delta
 }
 
-// write appends one line; the caller holds t.mu.
+// write appends one unstamped line; the caller holds t.mu.
 func (t *TraceWriter) write(kind string, data any) {
+	t.writeSpan(kind, SpanContext{}, data)
+}
+
+// writeSpan appends one line, stamping trace/span/parent when sc is valid;
+// the caller holds t.mu.
+func (t *TraceWriter) writeSpan(kind string, sc SpanContext, data any) {
 	if t.err != nil {
 		return
 	}
-	b, err := json.Marshal(traceLine{
+	line := traceLine{
 		TS:    t.now().UTC().Format(time.RFC3339Nano),
 		Event: kind,
 		Data:  data,
-	})
+	}
+	if sc.Valid() {
+		line.Trace = strconv.FormatUint(sc.TraceID, 16)
+		line.Span = strconv.FormatUint(sc.SpanID, 16)
+		if sc.Parent != 0 {
+			line.Parent = strconv.FormatUint(sc.Parent, 16)
+		}
+	}
+	b, err := json.Marshal(line)
 	if err != nil {
 		t.err = err
 		return

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// captureSink records every call it receives, for asserting what a wrapper
+// forwarded.
+type captureSink struct {
+	events  []Event
+	counts  map[string]int64
+	phases  []Phase
+	spans   []SpanContext // span column of SpanPhaseEnd calls
+	gauges  map[string]int64
+	spanful bool // implement SpanPhaseSink?
+}
+
+func newCaptureSink(spanful bool) *captureSink {
+	return &captureSink{counts: map[string]int64{}, gauges: map[string]int64{}, spanful: spanful}
+}
+
+func (c *captureSink) Event(e Event)                  { c.events = append(c.events, e) }
+func (c *captureSink) Count(name string, delta int64) { c.counts[name] += delta }
+func (c *captureSink) PhaseEnd(p Phase, d time.Duration) {
+	c.phases = append(c.phases, p)
+	c.spans = append(c.spans, SpanContext{})
+}
+func (c *captureSink) Gauge(name string, value int64) { c.gauges[name] = value }
+
+// spanCaptureSink adds SpanPhaseSink to captureSink.
+type spanCaptureSink struct{ captureSink }
+
+func (c *spanCaptureSink) SpanPhaseEnd(sc SpanContext, p Phase, d time.Duration) {
+	c.phases = append(c.phases, p)
+	c.spans = append(c.spans, sc)
+}
+
+func TestNewTraceDeterministic(t *testing.T) {
+	a := NewTrace(42, 7)
+	b := NewTrace(42, 7)
+	if a != b {
+		t.Fatalf("NewTrace not deterministic: %+v vs %+v", a, b)
+	}
+	if !a.Valid() {
+		t.Fatalf("root span should be valid: %+v", a)
+	}
+	if a.Parent != 0 {
+		t.Fatalf("root span has parent %x, want 0", a.Parent)
+	}
+	// Distinct sequence numbers and seeds give distinct traces.
+	seen := map[uint64]bool{}
+	for seq := uint64(1); seq <= 100; seq++ {
+		id := NewTrace(42, seq).TraceID
+		if seen[id] {
+			t.Fatalf("trace ID collision at seq %d", seq)
+		}
+		seen[id] = true
+	}
+	if NewTrace(1, 1).TraceID == NewTrace(2, 1).TraceID {
+		t.Fatal("different seeds produced the same trace ID")
+	}
+}
+
+func TestChildDeterministic(t *testing.T) {
+	root := NewTrace(1, 1)
+	a := root.Child("search")
+	b := root.Child("search")
+	if a != b {
+		t.Fatalf("Child not deterministic: %+v vs %+v", a, b)
+	}
+	if a.TraceID != root.TraceID {
+		t.Fatalf("child changed trace ID: %x vs %x", a.TraceID, root.TraceID)
+	}
+	if a.Parent != root.SpanID {
+		t.Fatalf("child parent %x, want root span %x", a.Parent, root.SpanID)
+	}
+	if !a.Valid() {
+		t.Fatalf("child should be valid: %+v", a)
+	}
+	if other := root.Child("queue.wait"); other.SpanID == a.SpanID {
+		t.Fatal("differently named children share a span ID")
+	}
+}
+
+func TestSamplerRatios(t *testing.T) {
+	ids := make([]uint64, 0, 1000)
+	for seq := uint64(1); seq <= 1000; seq++ {
+		ids = append(ids, NewTrace(9, seq).TraceID)
+	}
+	none, all := NewSampler(0), NewSampler(1)
+	half := NewSampler(0.5)
+	sampled := 0
+	for _, id := range ids {
+		if none.Sampled(id) {
+			t.Fatalf("ratio 0 sampled trace %x", id)
+		}
+		if !all.Sampled(id) {
+			t.Fatalf("ratio 1 rejected trace %x", id)
+		}
+		if half.Sampled(id) {
+			sampled++
+		}
+	}
+	// 0.5 over 1000 well-mixed IDs: allow a generous band around 500.
+	if sampled < 350 || sampled > 650 {
+		t.Fatalf("ratio 0.5 sampled %d of 1000", sampled)
+	}
+	// Out-of-range ratios clamp rather than misbehave.
+	if NewSampler(-3).Sampled(ids[0]) {
+		t.Fatal("negative ratio sampled a trace")
+	}
+	if !NewSampler(7).Sampled(ids[0]) {
+		t.Fatal("ratio > 1 rejected a trace")
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	root := NewTrace(3, 1)
+	ctx := ContextWithSpan(context.Background(), root)
+	got, ok := SpanFromContext(ctx)
+	if !ok || got != root {
+		t.Fatalf("SpanFromContext = %+v, %v; want %+v, true", got, ok, root)
+	}
+	if _, ok := SpanFromContext(context.Background()); ok {
+		t.Fatal("empty context reported a span")
+	}
+	// An invalid span stored in the context is treated as absent.
+	if _, ok := SpanFromContext(ContextWithSpan(context.Background(), SpanContext{})); ok {
+		t.Fatal("invalid span reported as present")
+	}
+}
+
+func TestWithSpanPassthrough(t *testing.T) {
+	root := NewTrace(1, 1)
+	if got := WithSpan(nil, root); got != nil {
+		t.Fatalf("WithSpan(nil, valid) = %v, want nil", got)
+	}
+	next := newCaptureSink(false)
+	if got := WithSpan(next, SpanContext{}); got != Sink(next) {
+		t.Fatal("WithSpan with invalid span should return next unchanged")
+	}
+	if got := WithSpan(next, root); got == Sink(next) {
+		t.Fatal("WithSpan with valid span should wrap")
+	}
+}
+
+func TestWithSpanStamping(t *testing.T) {
+	root := NewTrace(1, 1)
+	next := newCaptureSink(false)
+	s := WithSpan(next, root)
+
+	s.Event(RestartStarted{Restart: 1})
+	if len(next.events) != 1 {
+		t.Fatalf("got %d events, want 1", len(next.events))
+	}
+	tr, ok := next.events[0].(Traced)
+	if !ok {
+		t.Fatalf("event not stamped: %T", next.events[0])
+	}
+	if tr.Span != root {
+		t.Fatalf("stamped span %+v, want %+v", tr.Span, root)
+	}
+	if tr.Kind() != "RestartStarted" {
+		t.Fatalf("Traced.Kind() = %q, want RestartStarted", tr.Kind())
+	}
+
+	// Already-stamped events pass through untouched: the innermost span wins.
+	inner := root.Child("inner")
+	s.Event(Traced{Span: inner, Event: ClimbFinished{}})
+	tr2 := next.events[1].(Traced)
+	if tr2.Span != inner {
+		t.Fatalf("re-stamping replaced inner span: %+v", tr2.Span)
+	}
+
+	// Counters pass through unstamped; gauges forward.
+	s.Count("steps", 5)
+	if next.counts["steps"] != 5 {
+		t.Fatalf("count not forwarded: %v", next.counts)
+	}
+	SetGauge(s, "depth", 3)
+	if next.gauges["depth"] != 3 {
+		t.Fatalf("gauge not forwarded: %v", next.gauges)
+	}
+
+	// PhaseEnd downgrades for a span-unaware sink...
+	s.PhaseEnd(Phase("climb"), time.Millisecond)
+	if len(next.phases) != 1 || next.spans[0].Valid() {
+		t.Fatalf("span-unaware sink got %v / %v", next.phases, next.spans)
+	}
+	// ...and carries the span for a span-aware one.
+	aware := &spanCaptureSink{captureSink: *newCaptureSink(true)}
+	WithSpan(aware, root).PhaseEnd(Phase("climb"), time.Millisecond)
+	if len(aware.phases) != 1 || aware.spans[0] != root {
+		t.Fatalf("span-aware sink got %v / %v", aware.phases, aware.spans)
+	}
+}
+
+func TestBaseUnwrapsNestedTraced(t *testing.T) {
+	e := ClimbFinished{Restart: 2}
+	wrapped := Traced{Span: NewTrace(1, 1), Event: Traced{Span: NewTrace(1, 2), Event: e}}
+	if got := Base(wrapped); got != Event(e) {
+		t.Fatalf("Base = %#v, want %#v", got, e)
+	}
+	if got := Base(e); got != Event(e) {
+		t.Fatalf("Base of plain event = %#v", got)
+	}
+}
+
+func TestSpanRecorderBoundAndUnwrap(t *testing.T) {
+	r := NewSpanRecorder(2)
+	root := NewTrace(1, 1)
+	r.Event(Traced{Span: root, Event: RestartStarted{Restart: 1}})
+	r.SpanPhaseEnd(root.Child("climb"), Phase("climb"), time.Millisecond)
+	r.Event(ClimbFinished{}) // over the bound
+	r.PhaseEnd(Phase("merge"), time.Millisecond)
+
+	events, dropped := r.Events()
+	if len(events) != 2 || dropped != 2 {
+		t.Fatalf("got %d events, %d dropped; want 2, 2", len(events), dropped)
+	}
+	if events[0].Span != root {
+		t.Fatalf("first event span %+v, want root", events[0].Span)
+	}
+	if _, ok := events[0].Event.(RestartStarted); !ok {
+		t.Fatalf("first event not unwrapped: %T", events[0].Event)
+	}
+	pf, ok := events[1].Event.(PhaseFinished)
+	if !ok || pf.Phase != Phase("climb") {
+		t.Fatalf("second event = %#v, want climb PhaseFinished", events[1].Event)
+	}
+	if events[1].Span.Parent != root.SpanID {
+		t.Fatalf("phase span parent %x, want %x", events[1].Span.Parent, root.SpanID)
+	}
+
+	// Counters are ignored, not recorded.
+	r2 := NewSpanRecorder(0)
+	r2.Count("steps", 1)
+	if events, _ := r2.Events(); len(events) != 0 {
+		t.Fatalf("counter was recorded: %v", events)
+	}
+}
+
+func TestTraceWriterStampsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.now = fixedClock()
+
+	root := NewTrace(5, 1)
+	child := root.Child("search")
+	tw.Event(Traced{Span: child, Event: ClimbFinished{Restart: 1}})
+	tw.Event(RestartStarted{Restart: 2}) // unstamped
+	tw.SpanPhaseEnd(child, Phase("climb"), 3*time.Millisecond)
+	tw.PhaseEnd(Phase("merge"), time.Millisecond) // unstamped
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	type line struct {
+		Event  string          `json:"event"`
+		Trace  string          `json:"trace"`
+		Span   string          `json:"span"`
+		Parent string          `json:"parent"`
+		Data   json.RawMessage `json:"data"`
+	}
+	var lines []line
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+
+	wantTrace := hexUint(root.TraceID)
+	if lines[0].Trace != wantTrace || lines[0].Span != hexUint(child.SpanID) || lines[0].Parent != hexUint(root.SpanID) {
+		t.Fatalf("stamped event line %+v, want trace=%s span=%s parent=%s",
+			lines[0], wantTrace, hexUint(child.SpanID), hexUint(root.SpanID))
+	}
+	if lines[1].Trace != "" || lines[1].Span != "" || lines[1].Parent != "" {
+		t.Fatalf("unstamped event carries span fields: %+v", lines[1])
+	}
+	if lines[2].Event != "PhaseFinished" || lines[2].Trace != wantTrace {
+		t.Fatalf("SpanPhaseEnd line %+v, want stamped PhaseFinished", lines[2])
+	}
+	if lines[3].Event != "PhaseFinished" || lines[3].Trace != "" {
+		t.Fatalf("plain PhaseEnd line %+v, want unstamped PhaseFinished", lines[3])
+	}
+}
+
+func hexUint(v uint64) string { return strconv.FormatUint(v, 16) }

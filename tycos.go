@@ -286,6 +286,36 @@ type MetricsSnapshot = obs.Snapshot
 // returns nil (the no-op default).
 func MultiObserver(sinks ...Observer) Observer { return obs.Multi(sinks...) }
 
+// SpanContext identifies one span of a request-scoped trace; see internal/obs
+// for the full tracing model. The zero value means "not traced".
+type SpanContext = obs.SpanContext
+
+// TracedEvent wraps an event with the span that caused it; Kind delegates to
+// the wrapped event, and BaseEvent unwraps before type switches.
+type TracedEvent = obs.Traced
+
+// NewTrace derives the deterministic trace root for the seq-th request of a
+// process seeded with seed: equal inputs give equal trace IDs.
+func NewTrace(seed int64, seq uint64) SpanContext { return obs.NewTrace(seed, seq) }
+
+// ContextWithSpan puts a span into a context; SearchContext reads it and
+// stamps every observation of that search with a derived child span.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return obs.ContextWithSpan(ctx, sc)
+}
+
+// BaseEvent returns the event under any trace stamping; type-switch on its
+// result rather than the raw Observer.Event argument when traces may be on.
+func BaseEvent(e Event) Event { return obs.Base(e) }
+
+// Sampler makes deterministic head-sampling decisions on trace IDs: every
+// participant of a trace agrees without coordination.
+type Sampler = obs.Sampler
+
+// NewSampler returns a sampler accepting approximately ratio of all trace
+// IDs (≤0 none, ≥1 all).
+func NewSampler(ratio float64) Sampler { return obs.NewSampler(ratio) }
+
 // NewExpvarObserver publishes live totals under the named expvar map —
 // visible at /debug/vars wherever an HTTP server mounts expvar (the
 // tycos CLI's -pprof flag does).
