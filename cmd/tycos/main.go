@@ -6,6 +6,7 @@
 //	tycos -in data.csv -x rain -y collisions \
 //	      -smin 6 -smax 96 -tdmax 30 -sigma 0.25 [-variant lmn] [-topk 0]
 //	tycos -in plugs.csv -all [-checkpoint sweep.jsonl] [-retries 1] [-progress]
+//	tycos discover -in plugs.csv -anchor plug7 [-topk 10] [-progress]
 //
 // The input file must be a headered CSV; -x and -y name the two columns, or
 // -all sweeps every pair of columns. Windows are printed one per line as
@@ -59,6 +60,11 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 // run is the whole CLI behind an injectable front: tests drive it with
 // custom argv and buffers instead of a subprocess.
 func run(args []string, stdout, stderr io.Writer) int {
+	// Subcommands dispatch before flag parsing; everything else is the
+	// original pair/sweep flag surface.
+	if len(args) > 0 && args[0] == "discover" {
+		return runDiscover(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("tycos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

@@ -8,13 +8,17 @@
 //
 //	tycosbench [-quick] [-out BENCH_HOTPATH.json]
 //	tycosbench -obs [-out BENCH_OBS.json]
+//	tycosbench -discovery [-quick] [-out BENCH_DISCOVERY.json]
 //
 // -quick trims the measurement time for CI smoke runs; the checked-in
 // baseline is produced without it. -obs switches to the observer-overhead
 // suite: one end-to-end search measured under a nil sink, the Metrics
 // aggregator, a discarded JSONL trace, and a trace with span stamping — the
 // numbers behind the README's "observability is ≤ a few percent" claim,
-// written to BENCH_OBS.json.
+// written to BENCH_OBS.json. -discovery measures the anchor→fleet pipeline
+// over a 200-candidate fleet, screened against unscreened, written to
+// BENCH_DISCOVERY.json — the numbers behind the README's screen-then-confirm
+// claim.
 package main
 
 import (
@@ -79,20 +83,28 @@ var baselines = map[string]int64{
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "smoke run: only the per-estimate and slide workloads")
-		out     = flag.String("out", "", "output file (default BENCH_HOTPATH.json, or BENCH_OBS.json with -obs)")
-		obsMode = flag.Bool("obs", false, "measure observer overhead (nil sink vs Metrics vs trace vs trace+spans) instead of the MI hot path")
+		quick    = flag.Bool("quick", false, "smoke run: only the per-estimate and slide workloads (with -discovery: a 40-candidate fleet)")
+		out      = flag.String("out", "", "output file (default BENCH_HOTPATH.json, BENCH_OBS.json with -obs, BENCH_DISCOVERY.json with -discovery)")
+		obsMode  = flag.Bool("obs", false, "measure observer overhead (nil sink vs Metrics vs trace vs trace+spans) instead of the MI hot path")
+		discMode = flag.Bool("discovery", false, "measure the anchor→fleet discovery pipeline, screened vs unscreened")
 	)
 	flag.Parse()
 	if *out == "" {
-		if *obsMode {
+		switch {
+		case *obsMode:
 			*out = "BENCH_OBS.json"
-		} else {
+		case *discMode:
+			*out = "BENCH_DISCOVERY.json"
+		default:
 			*out = "BENCH_HOTPATH.json"
 		}
 	}
 	if *obsMode {
 		runObs(*out)
+		return
+	}
+	if *discMode {
+		runDiscovery(*out, *quick)
 		return
 	}
 
@@ -344,6 +356,125 @@ func runObs(out string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", out, len(rep.Results))
+}
+
+// runDiscovery measures the anchor→fleet pipeline: one Discover pass over a
+// 200-candidate fleet (10 planted followers, 190 AR(1) decoys) with the
+// sliding-PCC pre-screen on, and the same pass with every candidate
+// confirmed. Discovery is a single long pass, not a tight loop, so each row
+// is one timed run (iterations=1); the screened row's note carries the
+// speedup and the prune rate that produced it.
+func runDiscovery(out string, quick bool) {
+	fleet := 200
+	if quick {
+		fleet = 40
+	}
+	rep := report{
+		Benchmark: "tycosbench -discovery (screen-then-confirm)",
+		Description: fmt.Sprintf("Anchor→fleet Discover over %d candidates (n=480, every 20th a planted "+
+			"follower at delay index%%7, the rest AR(1) phi=0.9 decoys), SMin=8 SMax=32 TDMax=8 sigma=0.45, "+
+			"variant=LMN, seed=1, topk=10. unscreened confirms the whole fleet; screened prunes with the "+
+			"sliding-PCC baseline (window=32, threshold=0.9) first.", fleet),
+		Date: time.Now().Format("2006-01-02"),
+		Runner: runner{
+			CPU:        "see go test -bench output on this host",
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       "single-pass wall time per row; both rows rank identical surviving candidates",
+		},
+		Benchtime: "1 pass",
+		Reproduce: "go run ./cmd/tycosbench -discovery -out BENCH_DISCOVERY.json",
+	}
+
+	const n = 480
+	rng := rand.New(rand.NewSource(1))
+	av := make([]float64, n)
+	for i := range av {
+		av[i] = 0.9*ringAt(av, i-1) + rng.NormFloat64()
+	}
+	anchor := tycos.NewSeries("anchor", av)
+	cands := make([]tycos.Series, fleet)
+	for c := range cands {
+		v := make([]float64, n)
+		if c%20 == 0 {
+			delay := c % 7
+			for i := range v {
+				j := i - delay
+				if j < 0 {
+					j = 0
+				}
+				v[i] = av[j] + 0.05*rng.NormFloat64()
+			}
+		} else {
+			var a float64
+			for i := range v {
+				a = 0.9*a + rng.NormFloat64()
+				v[i] = a
+			}
+		}
+		cands[c] = tycos.NewSeries(fmt.Sprintf("cand%03d", c), v)
+	}
+
+	opts := tycos.DiscoveryOptions{
+		Search: tycos.Options{
+			SMin: 8, SMax: 32, TDMax: 8, Sigma: 0.45,
+			Normalization: tycos.NormMaxEntropy,
+			Variant:       tycos.VariantLMN, Seed: 1,
+		},
+		TopK:            10,
+		ScreenWindow:    32,
+		ScreenThreshold: 0.9,
+	}
+
+	var unscreenedNs int64
+	for _, mode := range []struct {
+		name   string
+		screen bool
+	}{
+		{"discover/unscreened", false},
+		{"discover/screened", true},
+	} {
+		o := opts
+		o.Screen = mode.screen
+		start := time.Now()
+		res, err := tycos.Discover(context.Background(), anchor, cands, o)
+		elapsed := time.Since(start)
+		if err != nil {
+			fatal(err)
+		}
+		note := fmt.Sprintf("ranked=%d evaluated=%d", len(res.Ranked), res.Stats.Evaluated)
+		if !mode.screen {
+			unscreenedNs = elapsed.Nanoseconds()
+		} else if unscreenedNs > 0 && elapsed > 0 {
+			note = fmt.Sprintf("pruned %d/%d, speedup_vs_unscreened=%.1fx, %s",
+				res.Stats.Pruned, res.Stats.Candidates,
+				float64(unscreenedNs)/float64(elapsed.Nanoseconds()), note)
+		}
+		rep.Results = append(rep.Results, result{
+			Workload:   mode.name,
+			NsPerOp:    elapsed.Nanoseconds(),
+			Iterations: 1,
+			Note:       note,
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %12d ns/pass  %s\n", mode.name, elapsed.Nanoseconds(), note)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", out, len(rep.Results))
+}
+
+// ringAt reads v[i] treating negative indices as zero — the AR(1) seed term.
+func ringAt(v []float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return v[i]
 }
 
 func fatal(err error) {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"tycos/internal/checkpoint"
+)
+
+// ingestDiscoverFleet loads the deterministic discovery fleet: one anchor
+// and four candidates, each following the anchor at its own delay so every
+// candidate earns a confirmation search and a journal record.
+func ingestDiscoverFleet(t *testing.T, base string) {
+	t.Helper()
+	x, _ := chaosSeries()
+	post := func(name string, vals []float64) {
+		resp, err := postJSON(t, base+"/v1/series", map[string]any{"name": name, "values": vals})
+		if err != nil {
+			t.Fatalf("ingest %s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", name, resp.StatusCode)
+		}
+	}
+	post("anchor", x)
+	for d := 0; d < 4; d++ {
+		v := make([]float64, len(x))
+		for i := range v {
+			j := i - d
+			if j < 0 {
+				j = 0
+			}
+			v[i] = x[j]
+		}
+		post(fmt.Sprintf("cand%d", d), v)
+	}
+}
+
+// discoverBody is the request every run replays. Screening is off so all
+// four candidates are confirmed (four journal records — the kill point is
+// deterministic with the daemon's single in-task discovery worker).
+func discoverBody() map[string]any {
+	return map[string]any{
+		"anchor":     "anchor",
+		"candidates": []string{"cand0", "cand1", "cand2", "cand3"},
+		"topk":       4,
+		"screen":     false,
+		"smin":       8, "smax": 16, "tdmax": 4, "sigma": 0.2,
+	}
+}
+
+// discover posts one discovery and returns (body, searched, replayed, error).
+func discover(t *testing.T, base string) ([]byte, int, int, error) {
+	t.Helper()
+	resp, err := postJSON(t, base+"/v1/discover", discoverBody())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, 0, 0, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	searched, _ := strconv.Atoi(resp.Header.Get("X-Tycosd-Discovery-Searched"))
+	replayed, _ := strconv.Atoi(resp.Header.Get("X-Tycosd-Discovery-Replayed"))
+	return b, searched, replayed, nil
+}
+
+// TestDiscoverKillResumeByteIdentical is the discovery crash-safety
+// acceptance check: a tycosd SIGKILLed mid-discovery (torn per-survivor
+// journal append) is restarted on the same journal, replays the finished
+// survivors instead of recomputing them, and serves a response
+// byte-identical to an uninterrupted golden run.
+func TestDiscoverKillResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Golden: uninterrupted discovery, all four candidates computed.
+	g := startDaemon(t, []string{"-journal", filepath.Join(dir, "golden.jsonl")})
+	ingestDiscoverFleet(t, g.base)
+	golden, searched, replayed, err := discover(t, g.base)
+	if err != nil {
+		t.Fatalf("golden discover: %v", err)
+	}
+	if searched != 4 || replayed != 0 {
+		t.Fatalf("golden searched/replayed = %d/%d, want 4/0", searched, replayed)
+	}
+	g.signal(t, syscall.SIGTERM)
+	if code := g.waitExit(t); code != exitOK {
+		t.Fatalf("golden exit = %d; output:\n%s", code, g.out.String())
+	}
+
+	// Chaos: the third per-survivor journal append is torn and the process
+	// killed — two survivors are durably journaled, the third's record is a
+	// torn line the journal reader must drop on recovery.
+	jpath := filepath.Join(dir, "chaos.jsonl")
+	c := startDaemon(t, []string{"-journal", jpath},
+		"TYCOS_FAULTS=checkpoint/record.torn=kill,after=2")
+	ingestDiscoverFleet(t, c.base)
+	if _, _, _, err := discover(t, c.base); err == nil {
+		t.Fatal("chaos discovery succeeded; the injected kill never fired")
+	}
+	if code := c.waitExit(t); code == exitOK {
+		t.Fatal("killed child reported a clean exit")
+	}
+
+	// Resume: same journal, same fleet. The two journaled survivors replay,
+	// the rest recompute, and the body matches the golden run byte for byte.
+	r := startDaemon(t, []string{"-journal", jpath})
+	ingestDiscoverFleet(t, r.base)
+	body, searched, replayed, err := discover(t, r.base)
+	if err != nil {
+		t.Fatalf("resumed discover: %v", err)
+	}
+	if replayed != 2 {
+		t.Errorf("resumed replayed = %d, want 2 (the survivors journaled before the kill)", replayed)
+	}
+	if searched+replayed != 4 {
+		t.Errorf("resumed searched+replayed = %d+%d, want 4", searched, replayed)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Errorf("resumed discovery differs from golden:\n%s\nvs\n%s", body, golden)
+	}
+	r.signal(t, syscall.SIGTERM)
+	if code := r.waitExit(t); code != exitOK {
+		t.Fatalf("resumed exit = %d; output:\n%s", code, r.out.String())
+	}
+	j, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatalf("final journal: %v", err)
+	}
+	defer j.Close()
+	if j.Len() != 4 {
+		t.Errorf("final journal holds %d records, want 4", j.Len())
+	}
+}

@@ -14,9 +14,18 @@ import (
 
 // Pearson returns the sample Pearson correlation coefficient r ∈ [−1, 1]
 // between x and y. Degenerate inputs (length < 2, zero variance) return 0.
+//
+// Constancy is detected on the values themselves (min == max), not on the
+// centred sum of squares: for a constant series the summed (v−mean)² terms
+// can round to a tiny nonzero float, in which case the naive sxx == 0 guard
+// misfires and the quotient of two rounding errors comes out as ±1 — a
+// constant series scoring as perfectly correlated garbage.
 func Pearson(x, y []float64) float64 {
 	n := len(x)
 	if n != len(y) || n < 2 {
+		return 0
+	}
+	if constant(x) || constant(y) {
 		return 0
 	}
 	var sx, sy float64
@@ -39,28 +48,89 @@ func Pearson(x, y []float64) float64 {
 	return sxy / math.Sqrt(sxx*syy)
 }
 
+// constant reports whether every value of v equals the first (the exact
+// zero-variance case; length ≤ 1 counts as constant).
+func constant(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		//lint:allow floateq exact constancy test; approximate equality would misclassify genuinely varying data
+		if v[i] != v[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// SlideStats counts the work of one SlidingPCC pass: Windows is the number
+// of window positions evaluated, Degenerate the positions skipped under the
+// degenerate-window contract below.
+type SlideStats struct {
+	Windows    int
+	Degenerate int
+}
+
 // SlidingPCC slides a fixed-size window over the aligned pair (no time
 // delay — PCC-based procedures in the literature assume simultaneity) and
 // returns every maximal run of positions whose |r| meets the threshold,
 // merged into scored windows carrying the strongest |r| seen inside.
 func SlidingPCC(x, y []float64, size int, threshold float64) ([]window.Scored, error) {
+	out, _, err := SlidingPCCDetail(x, y, size, threshold)
+	return out, err
+}
+
+// SlidingPCCDetail is SlidingPCC with the pass statistics exposed.
+//
+// Degenerate-window contract: a position where either side of the window is
+// constant (zero variance) — or where r is otherwise non-finite — carries no
+// correlation evidence. Such a position never opens or extends a run (an
+// open run is closed, exactly as a below-threshold position would), is
+// counted in SlideStats.Degenerate, and contributes no score. Callers using
+// the maximum |r| as a pruning statistic (the discovery pre-screen) rely on
+// this: without it a flatlined sensor would score |r| = 1 through floating-
+// point rounding and poison the prune decision.
+func SlidingPCCDetail(x, y []float64, size int, threshold float64) ([]window.Scored, SlideStats, error) {
+	var stats SlideStats
 	if len(x) != len(y) {
-		return nil, fmt.Errorf("baseline: length mismatch %d vs %d", len(x), len(y))
+		return nil, stats, fmt.Errorf("baseline: length mismatch %d vs %d", len(x), len(y))
 	}
 	if size < 2 || size > len(x) {
-		return nil, fmt.Errorf("baseline: window size %d out of range (n=%d)", size, len(x))
+		return nil, stats, fmt.Errorf("baseline: window size %d out of range (n=%d)", size, len(x))
 	}
+	// constRun[i] is the length of the run of equal values ending at i, so a
+	// window [i, i+size−1] is constant iff constRun[i+size−1] ≥ size. One
+	// O(n) pass instead of re-scanning each window.
+	runX := constRuns(x)
+	runY := constRuns(y)
 	var out []window.Scored
 	open := false
 	var cur window.Scored
 	for i := 0; i+size <= len(x); i++ {
+		stats.Windows++
+		end := i + size - 1
+		if runX[end] >= size || runY[end] >= size {
+			stats.Degenerate++
+			if open {
+				out = append(out, cur)
+				open = false
+			}
+			continue
+		}
 		r := math.Abs(Pearson(x[i:i+size], y[i:i+size]))
+		if math.IsNaN(r) {
+			// Belt and braces: the constancy guards above should make this
+			// unreachable, but a NaN must never enter a run's max.
+			stats.Degenerate++
+			if open {
+				out = append(out, cur)
+				open = false
+			}
+			continue
+		}
 		if r >= threshold {
 			if !open {
-				cur = window.Scored{Window: window.Window{Start: i, End: i + size - 1}, MI: r}
+				cur = window.Scored{Window: window.Window{Start: i, End: end}, MI: r}
 				open = true
 			} else {
-				cur.End = i + size - 1
+				cur.End = end
 				if r > cur.MI {
 					cur.MI = r
 				}
@@ -75,5 +145,20 @@ func SlidingPCC(x, y []float64, size int, threshold float64) ([]window.Scored, e
 	if open {
 		out = append(out, cur)
 	}
-	return out, nil
+	return out, stats, nil
+}
+
+// constRuns returns, per index, the length of the run of equal consecutive
+// values ending there.
+func constRuns(v []float64) []int {
+	runs := make([]int, len(v))
+	for i := range v {
+		//lint:allow floateq exact constancy test over consecutive samples; see Pearson's degenerate-input contract
+		if i > 0 && v[i] == v[i-1] {
+			runs[i] = runs[i-1] + 1
+		} else {
+			runs[i] = 1
+		}
+	}
+	return runs
 }

@@ -133,6 +133,127 @@ func TestSlidingPCCMissesDelayedSegment(t *testing.T) {
 	}
 }
 
+func TestPearsonConstantInputsRobust(t *testing.T) {
+	// The naive sxx == 0 guard is defeated by floating-point rounding: for a
+	// constant series the summed (v−mean)² terms can come out as a tiny
+	// nonzero float, and the quotient of two rounding errors then reads as
+	// |r| = 1. The degenerate-input contract says any constant side is 0.
+	constSmall := make([]float64, 64)
+	constHuge := make([]float64, 64)
+	varying := make([]float64, 64)
+	for i := range constSmall {
+		constSmall[i] = 0.1
+		constHuge[i] = 1e155
+		varying[i] = math.Sin(float64(i) / 3)
+	}
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{"const-const", constSmall, constSmall},
+		{"const-huge", constHuge, constSmall},
+		{"const-varying", constSmall, varying},
+		{"varying-const", varying, constHuge},
+	}
+	for _, tc := range cases {
+		if r := Pearson(tc.x, tc.y); r != 0 {
+			t.Errorf("Pearson(%s) = %v, want 0", tc.name, r)
+		}
+	}
+}
+
+func TestSlidingPCCSkipsDegenerateWindows(t *testing.T) {
+	// A flatlined stretch in the middle of correlated data: positions whose
+	// window lies wholly inside the flatline are degenerate and must be
+	// skipped (counted, never scored), splitting the surrounding run.
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	size := 20
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 2*x[i] + 0.05*rng.NormFloat64()
+	}
+	for i := 80; i < 120; i++ {
+		x[i] = 0.1 // sensor flatline on one side only
+	}
+	ws, stats, err := SlidingPCCDetail(x, y, size, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDegenerate := 40 - size + 1 // windows wholly inside the flatline
+	if stats.Degenerate != wantDegenerate {
+		t.Errorf("Degenerate = %d, want %d", stats.Degenerate, wantDegenerate)
+	}
+	if stats.Windows != n-size+1 {
+		t.Errorf("Windows = %d, want %d", stats.Windows, n-size+1)
+	}
+	for _, w := range ws {
+		if w.Start >= 80 && w.End < 120 {
+			t.Errorf("window %v lies wholly inside the flatline; degenerate positions must not score", w)
+		}
+		if math.IsNaN(w.MI) || w.MI > 1+1e-12 {
+			t.Errorf("window %v carries a garbage score", w)
+		}
+	}
+}
+
+func TestSlidingPCCAllConstantScoresNothing(t *testing.T) {
+	// Both sides fully constant: with threshold 0 every position would
+	// previously open one garbage run at |r| = 1; under the contract every
+	// position is degenerate and the result is empty.
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = 0.1
+		y[i] = 1e155
+	}
+	ws, stats, err := SlidingPCCDetail(x, y, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 0 {
+		t.Errorf("constant pair produced windows: %v", ws)
+	}
+	if stats.Degenerate != stats.Windows || stats.Windows != 41 {
+		t.Errorf("stats = %+v, want all 41 positions degenerate", stats)
+	}
+}
+
+func TestSlidingPCCDetailMatchesSlidingPCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	for i := 100; i < 180; i++ {
+		y[i] = x[i] + 0.1*rng.NormFloat64()
+	}
+	plain, err := SlidingPCC(x, y, 25, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detail, stats, err := SlidingPCCDetail(x, y, 25, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(detail) {
+		t.Fatalf("SlidingPCC and SlidingPCCDetail disagree: %v vs %v", plain, detail)
+	}
+	for i := range plain {
+		if plain[i] != detail[i] {
+			t.Errorf("window %d: %v vs %v", i, plain[i], detail[i])
+		}
+	}
+	if stats.Degenerate != 0 {
+		t.Errorf("non-degenerate data counted %d degenerate windows", stats.Degenerate)
+	}
+}
+
 func TestSlidingPCCErrors(t *testing.T) {
 	if _, err := SlidingPCC([]float64{1, 2}, []float64{1}, 2, 0.5); err == nil {
 		t.Error("length mismatch must fail")

@@ -230,13 +230,17 @@ func runSegment(ctx context.Context, p series.Pair, opts Options, cons window.Co
 		pairName:  pairName,
 	}
 	s.run()
-	return segmentResult{
+	sr := segmentResult{
 		cands:    s.cands,
 		stats:    s.stats,
 		events:   s.events,
 		counters: s.scorer.counters(),
 		stop:     s.stop,
 	}
+	// The scorer is done: counters are captured, so its estimators can flow
+	// back to a shared cross-search cache (no-op without one).
+	s.scorer.release()
+	return sr
 }
 
 // newScorer builds the variant's scorer over the pair, sharing the read-only
@@ -245,6 +249,7 @@ func newScorer(p series.Pair, opts Options, null *nullModel) scorer {
 	if opts.Variant.incremental() {
 		sc := newIncScorer(p, opts.K, opts.Normalization, opts.SMax)
 		sc.null = null
+		sc.shared = opts.EstimatorCache
 		return sc
 	}
 	sc := newBatchScorer(p, opts.K, opts.Normalization)

@@ -35,6 +35,10 @@ type scorer interface {
 	// (KSG estimations, incremental point operations) for the observability
 	// layer. Called once per search, at the end.
 	counters() []counter
+	// release hands reusable estimator state back to a shared
+	// Options.EstimatorCache, if one is configured. Called after counters(),
+	// when the scorer is done; the scorer must not be used afterwards.
+	release()
 }
 
 // counter is one named estimator-level work total.
@@ -90,6 +94,9 @@ func (s *batchScorer) scoreNull(w window.Window, null *nullModel) (float64, floa
 
 func (s *batchScorer) stats() (int, int) { return s.nBatch, 0 }
 
+// release is a no-op: the batch scorer holds no poolable incremental state.
+func (s *batchScorer) release() {}
+
 func (s *batchScorer) counters() []counter {
 	return []counter{{"mi.ksg_estimates", int64(s.est.Estimates())}}
 }
@@ -127,6 +134,11 @@ type incScorer struct {
 	// allocations. ids is the matching reusable id scratch.
 	pool []*mi.Incremental
 	ids  []int
+
+	// shared, when non-nil, is the cross-search estimator cache
+	// (Options.EstimatorCache): rebuilds with an empty local pool draw from
+	// it, and release() returns every estimator to it when the search ends.
+	shared *EstimatorCache
 }
 
 // incState is one cached estimator and the window it is positioned at.
@@ -277,6 +289,10 @@ func (s *incScorer) rebuild(w window.Window) (*incState, error) {
 		inc = s.pool[n-1]
 		s.pool = s.pool[:n-1]
 		inc.Reload(s.ids, xs, ys)
+	} else if inc = s.shared.take(s.k, s.cell); inc != nil {
+		// A cache hit arrives Reconfigured to this scorer's (k, cell) —
+		// bit-identical to a fresh estimator, warm allocations and all.
+		inc.Reload(s.ids, xs, ys)
 	} else {
 		inc = mi.NewIncrementalBulk(s.k, s.cell, s.ids, xs, ys)
 	}
@@ -315,6 +331,22 @@ func (s *incScorer) evictLRU() {
 }
 
 func (s *incScorer) stats() (int, int) { return s.nBatch, s.nInc }
+
+// release drains every estimator — pooled and live — into the shared
+// cross-search cache. Without a shared cache it is a no-op: the scorer is
+// about to be garbage-collected with its pool.
+func (s *incScorer) release() {
+	if s.shared == nil {
+		return
+	}
+	s.shared.put(s.pool...)
+	s.pool = s.pool[:0]
+	//lint:allow nodeterm drain order only permutes interchangeable estimators in the shared pool; the map ends empty either way
+	for d, st := range s.states {
+		s.shared.put(st.inc)
+		delete(s.states, d)
+	}
+}
 
 func (s *incScorer) counters() []counter {
 	total := s.retired

@@ -29,6 +29,9 @@ type task struct {
 	enqueued time.Time
 	sink     obs.Sink
 	span     obs.SpanContext
+	// disc marks a /v1/discover task; the search fields above are unused
+	// then and the result travels on disc.done instead (discovery.go).
+	disc *discoverJob
 }
 
 // taskResult is what a worker hands back to the waiting handler.
@@ -108,6 +111,11 @@ func (s *Server) runTask(t *task) {
 		s.inflight.Add(-1)
 		obs.SetGauge(s.sink, "inflight", s.inflight.Load())
 	}()
+
+	if t.disc != nil {
+		s.runDiscoverTask(t)
+		return
+	}
 
 	res, err := s.searchOne(t)
 	if err == nil {

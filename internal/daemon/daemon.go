@@ -174,11 +174,17 @@ type Server struct {
 	httpLatency  *obs.Vec    // tycos_http_request_duration_seconds{route}
 	httpRequests *obs.Vec    // tycos_http_requests_total{route,code}
 	queueWait    *obs.Series // tycos_queue_wait_seconds
-	sampler      obs.Sampler
-	reqSeq       atomic.Uint64
-	slowMu       sync.Mutex
-	samplerStop  chan struct{}
-	samplerDone  chan struct{}
+
+	// Discovery instruments (discovery.go): request counter, end-to-end
+	// duration histogram and the per-outcome candidate counter.
+	discoveryRequests   *obs.Series // tycos_discovery_requests_total
+	discoveryDuration   *obs.Series // tycos_discovery_duration_seconds
+	discoveryCandidates *obs.Vec    // tycos_discovery_candidates_total{outcome}
+	sampler             obs.Sampler
+	reqSeq              atomic.Uint64
+	slowMu              sync.Mutex
+	samplerStop         chan struct{}
+	samplerDone         chan struct{}
 }
 
 // New builds a Server, opens its journal (when configured) and starts its

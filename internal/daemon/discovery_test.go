@@ -1,0 +1,250 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ingestFleet loads an anchor plus candidates: cand0 and cand2 carry the
+// anchor's signal (cand2 delayed by 3), cand1 and cand3 are unrelated noise
+// and candflat is a flatlined sensor.
+func ingestFleet(t *testing.T, base string) {
+	t.Helper()
+	n := 160
+	rng := rand.New(rand.NewSource(9))
+	anchor := make([]float64, n)
+	for i := range anchor {
+		anchor[i] = math.Sin(float64(i)/7) + 0.1*math.Cos(float64(i)/3)
+	}
+	ingest(t, base, "anchor", anchor)
+	follow := func(delay int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			j := i - delay
+			if j < 0 {
+				j = 0
+			}
+			v[i] = anchor[j]
+		}
+		return v
+	}
+	ingest(t, base, "cand0", follow(0))
+	ingest(t, base, "cand2", follow(3))
+	noise := func() []float64 {
+		v := make([]float64, n)
+		var a float64
+		for i := range v {
+			a = 0.9*a + rng.NormFloat64()
+			v[i] = a
+		}
+		return v
+	}
+	ingest(t, base, "cand1", noise())
+	ingest(t, base, "cand3", noise())
+	flat := make([]float64, n)
+	for i := range flat {
+		flat[i] = 0.25
+	}
+	ingest(t, base, "candflat", flat)
+}
+
+func discoverBody() map[string]any {
+	return map[string]any{
+		"anchor": "anchor",
+		"topk":   3,
+		"smin":   8, "smax": 16, "tdmax": 4, "sigma": 0.2,
+	}
+}
+
+func decodeDiscover(t *testing.T, resp *http.Response) discoverResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var out discoverResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode discover response: %v", err)
+	}
+	return out
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	ingestFleet(t, ts.URL)
+
+	resp := postJSON(t, ts.URL+"/v1/discover", discoverBody())
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("discover status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Tycosd-Source"); got != "computed" {
+		t.Errorf("X-Tycosd-Source = %q, want computed", got)
+	}
+	if got := resp.Header.Get("X-Tycosd-Discovery-Searched"); got == "" || got == "0" {
+		t.Errorf("X-Tycosd-Discovery-Searched = %q, want nonzero", got)
+	}
+	out := decodeDiscover(t, resp)
+	if out.Anchor != "anchor" {
+		t.Errorf("anchor = %q", out.Anchor)
+	}
+	// The default candidate set is every other ingested series.
+	if out.Candidates != 5 {
+		t.Errorf("candidates = %d, want 5", out.Candidates)
+	}
+	if len(out.Ranked) == 0 {
+		t.Fatal("discovery ranked nothing over a fleet with planted followers")
+	}
+	for _, c := range out.Ranked {
+		if c.Name == "candflat" {
+			t.Error("flatlined candidate was ranked")
+		}
+		if len(c.Windows) == 0 {
+			t.Errorf("ranked candidate %s has no windows", c.Name)
+		}
+	}
+	if out.Ranked[0].Name != "cand0" && out.Ranked[0].Name != "cand2" {
+		t.Errorf("top hit = %s, want a planted follower", out.Ranked[0].Name)
+	}
+	if out.Partial {
+		t.Error("unhurried discovery reported partial")
+	}
+}
+
+func TestDiscoverEndpointExplicitCandidates(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	ingestFleet(t, ts.URL)
+
+	body := discoverBody()
+	body["candidates"] = []string{"cand2", "cand1"}
+	body["screen"] = false
+	resp := postJSON(t, ts.URL+"/v1/discover", body)
+	out := decodeDiscover(t, resp)
+	if out.Candidates != 2 {
+		t.Errorf("candidates = %d, want 2", out.Candidates)
+	}
+	if out.Screened != 0 || out.Pruned != 0 {
+		t.Errorf("screen ran despite screen:false: %+v", out)
+	}
+	found := false
+	for _, c := range out.Ranked {
+		if c.Name == "cand2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("explicit candidate cand2 not ranked")
+	}
+}
+
+func TestDiscoverEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	ingestFleet(t, ts.URL)
+	cases := []struct {
+		name string
+		body map[string]any
+		code int
+	}{
+		{"missing anchor", map[string]any{"topk": 3}, http.StatusBadRequest},
+		{"unknown anchor", map[string]any{"anchor": "nope"}, http.StatusNotFound},
+		{"unknown candidate", map[string]any{"anchor": "anchor", "candidates": []string{"nope"}}, http.StatusNotFound},
+		{"anchor as candidate", map[string]any{"anchor": "anchor", "candidates": []string{"anchor"}}, http.StatusBadRequest},
+		{"bad variant", map[string]any{"anchor": "anchor", "variant": "zzz"}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"anchor": "anchor", "bogus": 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/discover", tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.code)
+			}
+		})
+	}
+}
+
+// TestDiscoverJournalReplayServesIdenticalBytes: a second identical request
+// against the same journal replays every survivor and serves the same body.
+func TestDiscoverJournalReplayServesIdenticalBytes(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, JournalPath: filepath.Join(dir, "journal.jsonl")})
+	ingestFleet(t, ts.URL)
+
+	read := func() (string, http.Header) {
+		resp := postJSON(t, ts.URL+"/v1/discover", discoverBody())
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("discover status = %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header
+	}
+	body1, hdr1 := read()
+	body2, hdr2 := read()
+	if body1 != body2 {
+		t.Errorf("journal replay served different bytes:\n%s\nvs\n%s", body1, body2)
+	}
+	if hdr1.Get("X-Tycosd-Source") != "computed" {
+		t.Errorf("first source = %q, want computed", hdr1.Get("X-Tycosd-Source"))
+	}
+	if hdr2.Get("X-Tycosd-Source") != "journal" {
+		t.Errorf("second source = %q, want journal", hdr2.Get("X-Tycosd-Source"))
+	}
+	if hdr2.Get("X-Tycosd-Discovery-Searched") != "0" {
+		t.Errorf("second request searched %s candidates, want 0", hdr2.Get("X-Tycosd-Discovery-Searched"))
+	}
+}
+
+// TestDiscoverMetricsExposed: the tycos_discovery_* family appears on
+// /metrics after a discovery.
+func TestDiscoverMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	ingestFleet(t, ts.URL)
+	postJSON(t, ts.URL+"/v1/discover", discoverBody()).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		"tycos_discovery_requests_total 1",
+		`tycos_discovery_candidates_total{outcome="searched"}`,
+		`tycos_discovery_candidates_total{outcome="pruned"}`,
+		"tycos_discovery_duration_seconds_count 1",
+		`tycos_http_requests_total{route="/v1/discover",code="200"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestDiscoverDrainingRejected: a draining server turns discovery away
+// before any work is admitted.
+func TestDiscoverDrainingRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ingestFleet(t, ts.URL)
+	if err := s.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/discover", discoverBody())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}

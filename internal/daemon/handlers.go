@@ -26,6 +26,7 @@ import (
 //	GET  /metrics    — Prometheus text exposition of the telemetry registry
 //	POST /v1/series  — append points to a named series (creates it)
 //	POST /v1/search  — delayed-correlation search over two ingested series
+//	POST /v1/discover — anchor→fleet top-K discovery (screen then confirm)
 //
 // Every route passes through instrument (telemetry.go), which feeds the
 // per-route latency histogram and the route+code request counter.
@@ -36,6 +37,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("POST /v1/series", s.instrument("/v1/series", s.handleIngest))
 	s.mux.HandleFunc("POST /v1/search", s.instrument("/v1/search", s.handleSearch))
+	s.mux.HandleFunc("POST /v1/discover", s.instrument("/v1/discover", s.handleDiscover))
 }
 
 // httpError writes a JSON error body with the given status.

@@ -16,6 +16,7 @@ import (
 // scrape taken before any traffic still shows the full route set.
 var daemonRoutes = []string{
 	"/healthz", "/readyz", "/statusz", "/metrics", "/v1/series", "/v1/search",
+	"/v1/discover",
 }
 
 // initTelemetry builds the Prometheus registry and its pre-registered
@@ -29,6 +30,15 @@ func (s *Server) initTelemetry() {
 		"HTTP requests served, by route and status code.", "route", "code")
 	s.queueWait = s.registry.Histogram("tycos_queue_wait_seconds",
 		"Time admitted search tasks spent queued before a worker picked them up.")
+	s.discoveryRequests = s.registry.Counter("tycos_discovery_requests_total",
+		"Discovery requests accepted for processing.")
+	s.discoveryDuration = s.registry.Histogram("tycos_discovery_duration_seconds",
+		"End-to-end discovery pipeline duration, in seconds.")
+	s.discoveryCandidates = s.registry.CounterVec("tycos_discovery_candidates_total",
+		"Discovery candidates by pipeline outcome.", "outcome")
+	for _, outcome := range []string{"screened", "pruned", "searched", "replayed", "failed"} {
+		s.discoveryCandidates.With(outcome)
+	}
 	for _, route := range daemonRoutes {
 		s.httpLatency.With(route)
 	}

@@ -1,0 +1,184 @@
+package discovery
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tycos/internal/core"
+)
+
+// Golden discovery fixture: the ranked top-K over a deterministic 12-series
+// fleet (one anchor, twelve candidates), committed under
+// testdata/golden/discovery. Any drift — ranking order, scores, window
+// bounds, pipeline counters — fails with a field-by-field diff. After an
+// intentional behaviour change, regenerate with
+//
+//	go test -run TestDiscoverGolden -update
+//
+// and review the fixture diff like any other code change.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from current output")
+
+type goldenWindow struct {
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	Delay int     `json:"delay"`
+	MI    float64 `json:"mi"`
+}
+
+type goldenCandidate struct {
+	Name    string         `json:"name"`
+	Index   int            `json:"index"`
+	Score   float64        `json:"score"`
+	Windows []goldenWindow `json:"windows"`
+}
+
+type goldenDiscovery struct {
+	Anchor     string            `json:"anchor"`
+	Threshold  float64           `json:"threshold"`
+	Ranked     []goldenCandidate `json:"ranked"`
+	Candidates int               `json:"candidates"`
+	Screened   int               `json:"screened"`
+	Pruned     int               `json:"pruned"`
+	Searched   int               `json:"searched"`
+	Degenerate int               `json:"degenerate_windows"`
+}
+
+func toGoldenDiscovery(res Result) goldenDiscovery {
+	g := goldenDiscovery{
+		Anchor:     res.Anchor,
+		Threshold:  res.Threshold,
+		Candidates: res.Stats.Candidates,
+		Screened:   res.Stats.Screened,
+		Pruned:     res.Stats.Pruned,
+		Searched:   res.Stats.Searched,
+		Degenerate: res.Stats.DegenerateWindows,
+	}
+	for _, c := range res.Ranked {
+		gc := goldenCandidate{Name: c.Name, Index: c.Index, Score: c.Score}
+		for _, w := range c.Result.Windows {
+			gc.Windows = append(gc.Windows, goldenWindow{Start: w.Start, End: w.End, Delay: w.Delay, MI: w.MI})
+		}
+		g.Ranked = append(g.Ranked, gc)
+	}
+	return g
+}
+
+// diffGoldenDiscovery renders a readable diff; empty means equal. Scores and
+// MI compare to 1e-9 so the fixture is robust to last-ulp formatting churn
+// while still catching estimator or ranking regressions.
+func diffGoldenDiscovery(want, got goldenDiscovery) string {
+	var b strings.Builder
+	line := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	if want.Anchor != got.Anchor {
+		line("anchor: want %q, got %q", want.Anchor, got.Anchor)
+	}
+	if math.Abs(want.Threshold-got.Threshold) > 1e-9 {
+		line("threshold: want %.12f, got %.12f", want.Threshold, got.Threshold)
+	}
+	cmp := func(name string, w, g int) {
+		if w != g {
+			line("%s: want %d, got %d", name, w, g)
+		}
+	}
+	cmp("candidates", want.Candidates, got.Candidates)
+	cmp("screened", want.Screened, got.Screened)
+	cmp("pruned", want.Pruned, got.Pruned)
+	cmp("searched", want.Searched, got.Searched)
+	cmp("degenerate_windows", want.Degenerate, got.Degenerate)
+	if len(want.Ranked) != len(got.Ranked) {
+		line("ranked count: want %d, got %d", len(want.Ranked), len(got.Ranked))
+	}
+	n := len(want.Ranked)
+	if len(got.Ranked) < n {
+		n = len(got.Ranked)
+	}
+	for i := 0; i < n; i++ {
+		w, g := want.Ranked[i], got.Ranked[i]
+		if w.Name != g.Name || w.Index != g.Index {
+			line("rank %d: want %s[%d], got %s[%d]", i, w.Name, w.Index, g.Name, g.Index)
+		}
+		if math.Abs(w.Score-g.Score) > 1e-9 {
+			line("rank %d score: want %.12f, got %.12f", i, w.Score, g.Score)
+		}
+		if len(w.Windows) != len(g.Windows) {
+			line("rank %d window count: want %d, got %d", i, len(w.Windows), len(g.Windows))
+			continue
+		}
+		for j := range w.Windows {
+			ww, gw := w.Windows[j], g.Windows[j]
+			if ww.Start != gw.Start || ww.End != gw.End || ww.Delay != gw.Delay {
+				line("rank %d window %d bounds: want [%d,%d]τ%d, got [%d,%d]τ%d", i, j, ww.Start, ww.End, ww.Delay, gw.Start, gw.End, gw.Delay)
+			}
+			if math.Abs(ww.MI-gw.MI) > 1e-9 {
+				line("rank %d window %d MI: want %.12f, got %.12f", i, j, ww.MI, gw.MI)
+			}
+		}
+	}
+	return b.String()
+}
+
+// goldenDiscoveryRun builds the fixture input — one anchor and twelve
+// candidates, three carrying planted delayed correlations, one flatlined,
+// everything derived from fixed seeds — and discovers over it.
+func goldenDiscoveryRun(t *testing.T) Result {
+	t.Helper()
+	anchor, cands := testFleet(240, 12, map[int]int{2: 0, 5: 3, 9: 6}, 2024)
+	flat := make([]float64, 240)
+	for i := range flat {
+		flat[i] = 0.5
+	}
+	cands[11].Values = flat
+	sOpts := core.Options{
+		SMin: 8, SMax: 24, TDMax: 6,
+		Sigma:   0.45,
+		Variant: core.VariantLMN,
+		Seed:    3,
+	}
+	res, err := Discover(context.Background(), anchor, cands, Options{
+		Search: sOpts, TopK: 5, Screen: true,
+		ScreenWindow: 32, ScreenThreshold: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const goldenFixture = "testdata/golden/discovery/fleet12.json"
+
+func TestDiscoverGolden(t *testing.T) {
+	got := toGoldenDiscovery(goldenDiscoveryRun(t))
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFixture, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d ranked)", goldenFixture, len(got.Ranked))
+		return
+	}
+	data, err := os.ReadFile(goldenFixture)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	var want goldenDiscovery
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt fixture %s: %v", goldenFixture, err)
+	}
+	if diff := diffGoldenDiscovery(want, got); diff != "" {
+		t.Errorf("discovery output drifted from %s:\n%s", goldenFixture, diff)
+	}
+}

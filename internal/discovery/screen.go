@@ -1,0 +1,112 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+
+	"tycos/internal/baseline"
+)
+
+// screenOutcome records one candidate's pre-screen pass.
+type screenOutcome struct {
+	// maxR is the best |r| any sliding window achieved at any grid delay.
+	maxR float64
+	// windows / degenerate aggregate baseline.SlideStats over the delay grid.
+	windows    int
+	degenerate int
+}
+
+// screenCandidate runs the cheap sliding-PCC statistic over a coarse delay
+// grid and decides whether the candidate earns a confirmation search. The
+// screen is a pure function of (anchor, candidate, Options): no search state,
+// no randomness, so the prune set is identical for every worker count.
+//
+// The decision is deliberately one-sided: a candidate is pruned only when its
+// best |r| across every tested delay and window position stays below the
+// threshold. Degenerate (zero-variance) windows never contribute evidence in
+// either direction — see the baseline package's degenerate-window contract.
+// Cancellation cuts at the scheduler loop: the screen itself is pure compute.
+func (e *engine) screenCandidate(_ context.Context, i int) {
+	st := &e.slots[i]
+	defer func() {
+		if r := recover(); r != nil {
+			st.err = fmt.Errorf("discovery: screening %s panicked: %v", st.name, r)
+			st.screened = true
+			st.pruned = false
+		}
+	}()
+	cand := e.cands[i]
+	n := e.anchor.Len()
+	if cand.Len() < n {
+		n = cand.Len()
+	}
+	if n < e.opts.ScreenWindow {
+		st.err = fmt.Errorf("discovery: candidate %s too short to screen (%d < window %d)", st.name, n, e.opts.ScreenWindow)
+		st.screened = true
+		return
+	}
+	out, err := screenPair(e.anchor.Values[:n], cand.Values[:n], e.opts)
+	if err != nil {
+		st.err = err
+		st.screened = true
+		return
+	}
+	st.screen = out
+	st.screened = true
+	st.pruned = out.maxR < e.opts.ScreenThreshold
+}
+
+// screenPair computes the screen statistic for one aligned pair: the maximum
+// sliding-window |r| over the delay grid 0, ±stride, …, ±TDMax. Threshold 0
+// makes SlidingPCCDetail merge every non-degenerate position into runs that
+// carry the maximum |r| seen inside — exactly the statistic the prune
+// decision needs, for one pass per delay.
+func screenPair(x, y []float64, opts Options) (screenOutcome, error) {
+	var out screenOutcome
+	for _, tau := range screenDelays(opts.Search.TDMax, opts.ScreenStride) {
+		xs, ys := delayAlign(x, y, tau)
+		if len(xs) < opts.ScreenWindow {
+			continue
+		}
+		runs, stats, err := baseline.SlidingPCCDetail(xs, ys, opts.ScreenWindow, 0)
+		if err != nil {
+			return out, err
+		}
+		out.windows += stats.Windows
+		out.degenerate += stats.Degenerate
+		for _, w := range runs {
+			if w.MI > out.maxR {
+				out.maxR = w.MI
+			}
+		}
+	}
+	return out, nil
+}
+
+// screenDelays builds the symmetric delay grid 0, ±stride, ±2·stride, … up
+// to tdMax. Delay 0 is always present, so an undelayed correlation can never
+// be grid-stepped over.
+func screenDelays(tdMax, stride int) []int {
+	delays := []int{0}
+	for tau := stride; tau <= tdMax; tau += stride {
+		delays = append(delays, tau, -tau)
+	}
+	return delays
+}
+
+// delayAlign slices x and y so that x[i] lines up with y[i+tau] in the
+// original indexing: the candidate shifted tau steps later than the anchor
+// (negative tau: earlier). The overlap shrinks by |tau|.
+func delayAlign(x, y []float64, tau int) ([]float64, []float64) {
+	n := len(x)
+	if tau >= 0 {
+		if tau >= n {
+			return nil, nil
+		}
+		return x[:n-tau], y[tau:]
+	}
+	if -tau >= n {
+		return nil, nil
+	}
+	return x[-tau:], y[:n+tau]
+}

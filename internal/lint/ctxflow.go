@@ -5,22 +5,30 @@ import (
 	"go/types"
 )
 
-// ctxflowScope limits the analyzer to the search core, where the
-// cancellation contract lives: SearchContext and friends promise that a
-// cancelled context stops the search at the next restart or climb-iteration
-// boundary, which is only true if every loop that scores windows also
-// consults a stop signal.
+// ctxflowScope limits the analyzer to the packages carrying a cancellation
+// contract: the search core (SearchContext promises a cancelled context
+// stops the search at the next restart or climb-iteration boundary) and the
+// discovery engine (Discover promises a stop at the next candidate
+// boundary). Both are only true if every loop that scores windows — or
+// dispatches candidate work — also consults a stop signal.
 var ctxflowScope = map[string]bool{
-	"tycos/internal/core": true,
+	"tycos/internal/core":      true,
+	"tycos/internal/discovery": true,
 }
 
 // scorerCalls are the method names through which the search evaluates
-// windows. A loop that invokes one of these is a climb (or enumeration)
+// windows, plus the discovery scheduler's per-candidate dispatch names. A
+// loop that invokes one of these is a climb (or enumeration, or scheduling)
 // loop and must be interruptible.
 var scorerCalls = map[string]bool{
 	"score":      true,
 	"mustScore":  true,
 	"finalScore": true,
+	// Discovery: the shard scheduler's dispatch ("work" is the func-value
+	// name runShards fans out) and the per-candidate stages it points at.
+	"work":            true,
+	"searchCandidate": true,
+	"screenCandidate": true,
 }
 
 // stopCalls are the recognised stop checks: the searcher's budget/context

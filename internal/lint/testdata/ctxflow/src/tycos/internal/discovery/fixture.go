@@ -1,0 +1,94 @@
+// Package discovery is a tycoslint fixture impersonating the discovery
+// engine so the ctxflow analyzer's scope applies to its scheduler loops.
+package discovery
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type shard struct{ from, to int }
+
+type engine struct{ done []bool }
+
+func (e *engine) searchCandidate(ctx context.Context, i int) { e.done[i] = ctx == nil }
+func (e *engine) screenCandidate(ctx context.Context, i int) { e.done[i] = ctx == nil }
+
+// UncheckedScheduler mirrors the discovery fan-out gone wrong: workers pull
+// shards and confirm candidates without ever consulting the context, so a
+// cancelled discovery grinds through the whole fleet anyway.
+func UncheckedScheduler(ctx context.Context, e *engine, shards []shard) {
+	var next int32
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(atomic.AddInt32(&next, 1)) - 1
+				if si >= len(shards) {
+					return
+				}
+				sh := shards[si]
+				for i := sh.from; i < sh.to; i++ { // want "loop calls the scorer but contains no stop check"
+					e.searchCandidate(ctx, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// GuardedScheduler is the sanctioned shape: every scheduler iteration checks
+// the context before dispatching a candidate.
+func GuardedScheduler(ctx context.Context, e *engine, shards []shard) {
+	var next int32
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(atomic.AddInt32(&next, 1)) - 1
+				if si >= len(shards) {
+					return
+				}
+				sh := shards[si]
+				for i := sh.from; i < sh.to; i++ {
+					if ctx.Err() != nil {
+						continue
+					}
+					e.searchCandidate(ctx, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// UncheckedScreen dispatches the pre-screen through a func value the way
+// runShards does; the dispatch name alone marks the loop as a climb loop.
+func UncheckedScreen(ctx context.Context, e *engine, n int) {
+	work := e.screenCandidate
+	for i := 0; i < n; i++ { // want "loop calls the scorer but contains no stop check"
+		work(ctx, i)
+	}
+}
+
+// GuardedScreen is the same dispatch with the stop check in place.
+func GuardedScreen(ctx context.Context, e *engine, n int) {
+	work := e.screenCandidate
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			continue
+		}
+		work(ctx, i)
+	}
+}
+
+// DroppedCtx accepts a context and never consults it — the per-candidate
+// searches it dispatches cannot be interrupted mid-flight.
+func DroppedCtx(ctx context.Context, e *engine, i int) { // want "never uses its context.Context parameter"
+	e.searchCandidate(context.Background(), i)
+}

@@ -181,6 +181,34 @@ func (inc *Incremental) Reload(ids []int, xs, ys []float64) {
 	inc.rebuildAll()
 }
 
+// Reconfigure empties the estimator and re-tunes it to a new neighbour count
+// and grid cell size, exactly as NewIncremental(k, cellSize) would — but
+// reusing the grid, the multisets, the scratch buffers and the pooled
+// pointState records. It is the cross-window counterpart of Reload: Reload
+// repositions a warm estimator within one pair (same cell), Reconfigure
+// retargets it at a different pair whose value span calls for a different
+// cell. Counters restart from zero, as on a fresh estimator.
+func (inc *Incremental) Reconfigure(k int, cellSize float64) {
+	if k < 1 {
+		k = DefaultK
+	}
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	inc.k = k
+	inc.grid.Reset(cellSize)
+	//lint:allow nodeterm drain order only permutes interchangeable freed records in the pool; the map ends empty either way
+	for id, st := range inc.state {
+		inc.statePool = append(inc.statePool, st)
+		delete(inc.state, id)
+	}
+	inc.ids = inc.ids[:0]
+	inc.xs.Reset(nil)
+	inc.ys.Reset(nil)
+	inc.ops = IncrementalOps{}
+	inc.estimates = 0
+}
+
 // takeState returns a zeroed pointState positioned at o, recycling a pooled
 // record when one is available.
 func (inc *Incremental) takeState(o knn.Point) *pointState {

@@ -38,6 +38,7 @@ import (
 
 	"tycos/internal/checkpoint"
 	"tycos/internal/core"
+	"tycos/internal/discovery"
 	"tycos/internal/mi"
 	"tycos/internal/obs"
 	"tycos/internal/series"
@@ -329,3 +330,43 @@ type Checkpoint = checkpoint.Journal
 // OpenCheckpoint opens (or creates) the sweep journal at path, recovering
 // every intact record; a torn final line from a killed process is skipped.
 func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Open(path) }
+
+// Discovery
+//
+// Discover answers the fleet question — "which of these N series correlate
+// with this anchor, and at what delay?" — with a screen-then-confirm
+// pipeline: a cheap sliding-Pearson pre-screen over a delay grid prunes
+// candidates that show no linear trace of coupling, and only the survivors
+// receive a full (budgeted) TYCOS search. Ranked output is deterministic in
+// (data, options): byte-identical for every worker count and independent of
+// whether candidates were replayed from a journal or searched fresh.
+
+// DiscoveryOptions configures an anchor→fleet discovery; see the field
+// documentation in internal/discovery.
+type DiscoveryOptions = discovery.Options
+
+// DiscoveryResult is a discovery outcome: the ranked top-K candidates, the
+// adaptive score threshold, and pipeline statistics.
+type DiscoveryResult = discovery.Result
+
+// DiscoveryCandidate is one ranked hit: the candidate's name, fleet index,
+// best-window score, and its full per-pair search result.
+type DiscoveryCandidate = discovery.Candidate
+
+// DiscoveryStats counts candidates through the pipeline stages.
+type DiscoveryStats = discovery.Stats
+
+// DiscoveryProgress is the live progress snapshot handed to
+// DiscoveryOptions.OnProgress.
+type DiscoveryProgress = discovery.Progress
+
+// DiscoveryCandidateError attributes a per-candidate failure without
+// aborting the fleet.
+type DiscoveryCandidateError = discovery.CandidateError
+
+// Discover runs the screen-then-confirm pipeline over the candidate fleet
+// and returns the top-K candidates ranked by best-window score (ties broken
+// by fleet index). Cancelling ctx stops cleanly with Result.Partial set.
+func Discover(ctx context.Context, anchor Series, candidates []Series, opts DiscoveryOptions) (DiscoveryResult, error) {
+	return discovery.Discover(ctx, anchor, candidates, opts)
+}
