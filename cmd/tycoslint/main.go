@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	tycoslint [-rules rule1,rule2] [packages...]
+//	tycoslint [-rules rule1,rule2] [-list] [-allows] [packages...]
 //
 // Package arguments are directories relative to the module root; a trailing
 // /... walks recursively, skipping testdata (point at a testdata tree
 // explicitly to lint fixtures). With no arguments it lints ./... .
+//
+// -allows prints every active //lint:allow suppression as
+// "file:line: [rule] reason" instead of linting, so the allowlist can be
+// audited in one pass.
 package main
 
 import (
@@ -31,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated analyzer subset to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	allows := fs.Bool("allows", false, "print every active //lint:allow suppression and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *allows {
+		for _, a := range lint.CollectAllows(pkgs) {
+			fmt.Fprintln(stdout, a)
+		}
+		return 0
 	}
 	diags := lint.Run(pkgs, analyzers)
 	for _, d := range diags {

@@ -57,9 +57,31 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d\nstderr:\n%s", code, stderr.String())
 	}
-	for _, rule := range []string{"nodeterm", "floateq", "ctxflow", "gopanic", "stdlibonly"} {
+	for _, rule := range []string{
+		"nodeterm", "floateq", "ctxflow", "gopanic", "stdlibonly",
+		"fingerprintcov", "errdrop", "mutexspan", "seedflow",
+	} {
 		if !strings.Contains(stdout.String(), rule) {
 			t.Fatalf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}
+
+// TestRunAllows: the audit mode prints active suppressions as
+// "file:line: [rule] reason" and reports nothing else.
+func TestRunAllows(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-allows", "internal/lint/testdata/seedflow/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-allows exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[seedflow]") || !strings.Contains(out, "domain offset") {
+		t.Fatalf("-allows output missing the fixture suppression:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, ".go:") || !strings.Contains(line, "] ") {
+			t.Fatalf("malformed -allows line %q", line)
 		}
 	}
 }

@@ -110,7 +110,7 @@ func OpenOptions(path string, opts Options) (*Journal, error) {
 	}
 	if j.fileBytes > 0 && !j.trailingNewline {
 		if _, err := f.WriteString("\n"); err != nil {
-			f.Close()
+			f.Close() //lint:allow errdrop best-effort cleanup; the WriteString error is what the caller sees
 			return nil, fmt.Errorf("checkpoint: %w", err)
 		}
 		j.fileBytes++
@@ -129,7 +129,7 @@ func (j *Journal) load() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdrop read-only handle; a close error cannot lose journal bytes
 
 	// ReadSlice hands back the reader's internal buffer, so one line costs
 	// at most MaxLineBytes of transient memory; anything longer is consumed
@@ -295,27 +295,28 @@ func (j *Journal) compactLocked() error {
 	sort.Strings(keys)
 	w := bufio.NewWriter(out)
 	var written int64
+	// discard abandons the half-written temp file: the original journal is
+	// untouched, so the compaction error is the only one worth returning.
+	discard := func(err error) error {
+		out.Close() //lint:allow errdrop best-effort cleanup; the compaction error is what the caller sees
+		os.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: compact: %w", err)
+	}
 	for _, k := range keys {
 		x, y := splitKey(k)
 		line, err := json.Marshal(record{X: x, Y: y, Result: j.done[k]})
 		if err != nil {
-			out.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("checkpoint: compact: %w", err)
+			return discard(err)
 		}
-		w.Write(line)
-		w.WriteByte('\n')
+		w.Write(line)     //lint:allow errdrop bufio write errors are sticky; the Flush below surfaces them
+		w.WriteByte('\n') //lint:allow errdrop bufio write errors are sticky; the Flush below surfaces them
 		written += int64(len(line)) + 1
 	}
 	if err := w.Flush(); err != nil {
-		out.Close()
-		os.Remove(tmpPath)
-		return fmt.Errorf("checkpoint: compact: %w", err)
+		return discard(err)
 	}
 	if err := out.Sync(); err != nil {
-		out.Close()
-		os.Remove(tmpPath)
-		return fmt.Errorf("checkpoint: compact: %w", err)
+		return discard(err)
 	}
 	if err := out.Close(); err != nil {
 		os.Remove(tmpPath)
@@ -329,7 +330,7 @@ func (j *Journal) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: compact: %w", err)
 	}
-	j.f.Close()
+	j.f.Close() //lint:allow errdrop old pre-rename handle; its contents are superseded by the compacted file
 	j.f = f
 	j.fileBytes = written
 	j.liveBytes = written
@@ -365,7 +366,9 @@ func (j *Journal) SizeBytes() int64 {
 func (j *Journal) Path() string { return j.path }
 
 // Close releases the journal's file handle. Records already written stay on
-// disk; the journal can be reopened with Open.
+// disk; the journal can be reopened with Open. The checkpoint/close fault
+// point lets chaos tests exercise callers' close-error paths, which a real
+// close on a healthy filesystem never hits.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -374,5 +377,8 @@ func (j *Journal) Close() error {
 	}
 	err := j.f.Close()
 	j.f = nil
+	if err == nil {
+		err = faultinject.Fire("checkpoint/close")
+	}
 	return err
 }

@@ -1,0 +1,29 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+
+	"tycos/internal/core"
+)
+
+// HashOptions writes the canonical serialization of every result-affecting
+// core.Options field to w. It is the single place option fields enter a
+// journal fingerprint: the daemon's search keys and the discovery engine's
+// per-candidate keys both delegate here, so a new result-affecting option
+// added to this function invalidates stale journal entries everywhere at
+// once instead of poisoning replay in whichever caller forgot it.
+//
+// The byte layout is pinned by TestHashOptionsGolden: it reproduces the
+// pre-refactor discovery serialization exactly, so journals and goldens
+// written before the dedupe keep replaying. The result-invariant fields —
+// Deadline, RestartWorkers, EstimatorCache, Observer — are deliberately
+// absent: each carries a dynamic test pinning that it cannot change results,
+// and the fingerprintcov analyzer's allow-list mirrors this set.
+func HashOptions(w io.Writer, o core.Options) {
+	fmt.Fprintf(w, "%d|%d|%d|%g|%g|%d|%d|%d|%d|%g|%d|%d|%d|%g|%d|%g",
+		o.SMin, o.SMax, o.TDMax, o.Sigma, o.Epsilon, o.K, o.Delta, o.MaxIdle,
+		o.HistoryLength, o.MinImprovement, int(o.Normalization), o.TopK,
+		int(o.Variant), o.Jitter, o.MaxEvaluations, o.SignificanceLevel)
+	fmt.Fprintf(w, "|%d", o.Seed)
+}

@@ -397,6 +397,7 @@ func jitterPair(p series.Pair, jitter float64, seed int64) series.Pair {
 	if jitter <= 0 {
 		return p
 	}
+	//lint:allow seedflow fixed pre-idiom domain offset; committed goldens and EXPERIMENTS results pin this stream
 	rng := rand.New(rand.NewSource(seed + 0xd17e))
 	dither := func(s series.Series) series.Series {
 		st := s.Stats()

@@ -129,6 +129,7 @@ func SearchContext(ctx context.Context, p series.Pair, opts Options) (Result, er
 		// model is built once, before the fan-out, and is read-only shared
 		// state from then on.
 		nmStart := clockNow()
+		//lint:allow seedflow fixed pre-idiom domain offset; committed goldens and EXPERIMENTS results pin this stream
 		null = buildNullModel(p, opts, rand.New(rand.NewSource(opts.Seed+0x5eed)))
 		timing.NullModel = clockSince(nmStart)
 		if sink != nil {

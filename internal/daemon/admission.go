@@ -199,11 +199,16 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close is Drain without a deadline, for tests and defer-style cleanup; it
-// additionally closes the journal even when a prior Drain already ran.
+// additionally closes the journal even when a prior Drain already ran. When
+// that close is the journal's first (a prior Drain timed out before reaching
+// it), its error is the only signal that the final journal bytes may not
+// have landed, so it is surfaced rather than swallowed.
 func (s *Server) Close() error {
 	err := s.Drain(context.Background())
 	if s.journal != nil {
-		s.journal.Close()
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("daemon: close journal: %w", cerr)
+		}
 	}
 	return err
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tycos/internal/baseline"
+	"tycos/internal/checkpoint"
 	"tycos/internal/core"
 	"tycos/internal/obs"
 	"tycos/internal/series"
@@ -253,14 +254,16 @@ func (req *searchRequest) options() (core.Options, error) {
 // pair, the data version (append-only, so the lengths), and every
 // result-affecting option — into the journal key, so a journaled result is
 // only ever replayed for a request that would recompute it identically.
-// Wall-clock timeouts are excluded: a timeout either leaves the result
+// The option fields are serialized by checkpoint.HashOptions, the one
+// canonical enumeration shared with the discovery engine, so a new
+// result-affecting option cannot be threaded into one journal key and
+// forgotten in the other. Wall-clock timeouts are excluded by construction:
+// HashOptions skips Deadline, and a timeout either leaves the result
 // untouched or makes it partial, and partial results are never journaled.
-func (req *searchRequest) fingerprint(n int) string {
+func (req *searchRequest) fingerprint(n int, opts core.Options) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d|%d|%d|%g|%g|%d|%d|%d|%d|%s|%d|%d",
-		req.X, req.Y, n, req.SMin, req.SMax, req.TDMax, req.Sigma, req.Epsilon,
-		req.K, req.Delta, req.MaxIdle, req.TopK, req.Variant, req.Seed,
-		req.MaxEvaluations)
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00", req.X, req.Y, n)
+	checkpoint.HashOptions(h, opts)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -349,7 +352,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	jx, jy := req.X, req.Y+"\x1f"+req.fingerprint(n)
+	jx, jy := req.X, req.Y+"\x1f"+req.fingerprint(n, opts)
 	s.sink.Count("daemon.search_requests", 1)
 	if s.journal != nil {
 		if res, ok := s.journal.Lookup(jx, jy); ok {

@@ -151,8 +151,14 @@ func (s *Server) writeSlowLog(pair string, root obs.SpanContext, elapsed time.Du
 		return
 	}
 	s.slowMu.Lock()
-	s.cfg.SlowLog.Write(append(b, '\n'))
+	_, werr := s.cfg.SlowLog.Write(append(b, '\n'))
 	s.slowMu.Unlock()
+	if werr != nil {
+		// The slow log is the audit trail for latency regressions; if lines
+		// stop landing (full disk, closed pipe) that has to be visible, not
+		// silent, or an operator debugging slowness trusts an empty log.
+		s.sink.Count("daemon.slowlog_failed", 1)
+	}
 	s.sink.Count("daemon.slow_searches", 1)
 }
 

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tycos/internal/checkpoint"
 	"tycos/internal/core"
 	"tycos/internal/mi"
 	"tycos/internal/obs"
@@ -255,12 +256,8 @@ func CandidateSeed(root int64, index int) int64 {
 // recompute it identically.
 func fingerprint(anchor, cand string, n, index int, o core.Options) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "discover\x00%s\x00%s\x00%d\x00%d\x00%d|%d|%d|%g|%g|%d|%d|%d|%d|%g|%d|%d|%d|%g|%d|%g",
-		anchor, cand, n, index,
-		o.SMin, o.SMax, o.TDMax, o.Sigma, o.Epsilon, o.K, o.Delta, o.MaxIdle,
-		o.HistoryLength, o.MinImprovement, int(o.Normalization), o.TopK,
-		int(o.Variant), o.Jitter, o.MaxEvaluations, o.SignificanceLevel)
-	fmt.Fprintf(h, "|%d", o.Seed)
+	fmt.Fprintf(h, "discover\x00%s\x00%s\x00%d\x00%d\x00", anchor, cand, n, index)
+	checkpoint.HashOptions(h, o)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

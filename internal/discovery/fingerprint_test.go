@@ -1,0 +1,46 @@
+package discovery
+
+import (
+	"testing"
+
+	"tycos/internal/core"
+	"tycos/internal/mi"
+)
+
+// TestFingerprintUnchangedByDedupe pins the discovery journal fingerprints
+// to the exact hex values the pre-dedupe hand-rolled serialization emitted
+// (captured before fingerprint was rewired through checkpoint.HashOptions).
+// Discovery journals and the committed resume goldens key on these bytes: if
+// this test fails, every existing journal entry silently stops replaying.
+func TestFingerprintUnchangedByDedupe(t *testing.T) {
+	full := core.Options{
+		SMin: 6, SMax: 96, TDMax: 30,
+		Sigma: 0.25, Epsilon: 0.0625,
+		K: 4, Delta: 1, MaxIdle: 5,
+		HistoryLength:     7,
+		MinImprovement:    0.005,
+		Normalization:     mi.NormNone,
+		TopK:              3,
+		Variant:           core.VariantLMN,
+		Jitter:            0.01,
+		MaxEvaluations:    1000,
+		SignificanceLevel: 2.5,
+		Seed:              42,
+	}
+	cases := []struct {
+		name         string
+		anchor, cand string
+		n, index     int
+		opts         core.Options
+		want         string
+	}{
+		{"full", "anchor", "cand", 512, 7, full, "8cb7b31bf228bb36"},
+		{"zero", "a", "b", 0, 0, core.Options{}, "47de2f0efee2e7cb"},
+		{"seeded", "x", "y", 100, 3, core.Options{Seed: -9}, "5bb5f1868142f65f"},
+	}
+	for _, tc := range cases {
+		if got := fingerprint(tc.anchor, tc.cand, tc.n, tc.index, tc.opts); got != tc.want {
+			t.Errorf("%s: fingerprint = %s, want %s (pre-dedupe bytes)", tc.name, got, tc.want)
+		}
+	}
+}

@@ -92,7 +92,9 @@ func neighborsEqual(a, b []Neighbor) bool {
 		return false
 	}
 	for i := range a {
-		//lint:allow floateq exact equality is the determinism contract across backends and reuse
+		// Exact float equality is deliberate: the determinism contract across
+		// backends and reuse is bit-identity. (The linter does not parse test
+		// files, so no allow directive is needed.)
 		if a[i].Index != b[i].Index || a[i].Dist != b[i].Dist {
 			return false
 		}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdropScope lists the packages whose write paths back the crash-safety
+// story: the journal itself, the daemon that records admissions through it,
+// the discovery engine that checkpoints shard results, and series ingest.
+// Elsewhere a dropped error is style; here it means a fsync or journal
+// append can fail without anyone noticing, and the next crash replays a
+// journal that silently lost entries.
+var errdropScope = map[string]bool{
+	"tycos/internal/checkpoint": true,
+	"tycos/internal/daemon":     true,
+	"tycos/internal/discovery":  true,
+	"tycos/internal/series":     true,
+}
+
+// errdropVerbs are the method/function names whose error return is part of
+// the durability contract. The set is deliberately narrow — it excludes
+// Encode/Fprintf-style response writing (an HTTP client that went away is
+// not a durability event) and names every call that can lose journal bytes.
+var errdropVerbs = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"Record":      true,
+	"Sync":        true,
+	"Flush":       true,
+	"Close":       true,
+}
+
+// ErrDrop flags discarded error returns from durability-relevant calls in
+// the journal/checkpoint/ingest write paths: a call used as a bare
+// statement, deferred, spawned with go, or assigned with the error position
+// blanked.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "journal, checkpoint and ingest write paths must not discard error " +
+		"returns from Write/Record/Sync/Flush/Close",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	if !errdropScope[pass.Pkg.ImportPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, info, call)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, info, n.Call)
+			case *ast.GoStmt:
+				checkDroppedCall(pass, info, n.Call)
+			case *ast.AssignStmt:
+				checkBlankedError(pass, info, n)
+			}
+			return true
+		})
+	})
+}
+
+// checkDroppedCall reports a durability-verb call whose entire result tuple
+// (which includes an error) is discarded.
+func checkDroppedCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	name, ok := droppedErrVerb(info, call)
+	if !ok {
+		return
+	}
+	pass.Report(call.Pos(),
+		"error from %s is discarded; a swallowed error on this write path breaks crash-safe replay (check it, or allowlist with the reason it cannot lose data)",
+		name)
+}
+
+// checkBlankedError reports assignments that keep some results of a
+// durability-verb call but blank the error positions, e.g. n, _ := w.Write(b).
+func checkBlankedError(pass *Pass, info *types.Info, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := droppedErrVerb(info, call)
+	if !ok {
+		return
+	}
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len() && i < len(assign.Lhs); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if id := identOf(assign.Lhs[i]); id != nil && id.Name == "_" {
+			pass.Report(assign.Pos(),
+				"error from %s is assigned to _; a swallowed error on this write path breaks crash-safe replay (check it, or allowlist with the reason it cannot lose data)",
+				name)
+			return
+		}
+	}
+}
+
+// droppedErrVerb reports whether the call targets a durability verb whose
+// signature returns an error, and returns the verb name.
+func droppedErrVerb(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if !errdropVerbs[name] {
+		return "", false
+	}
+	sig := callSignature(info, call)
+	if sig == nil {
+		return "", false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// callSignature resolves the signature of the called function or method,
+// including calls through interfaces and function values.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

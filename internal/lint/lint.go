@@ -50,10 +50,12 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package, plus the cross-function
+// facts computed once over the whole load (see facts.go).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *FactSet
 
 	result *fileSet
 }
@@ -161,12 +163,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range analyzers {
 		active[a.Name] = true
 	}
+	facts := ComputeFacts(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		fs := &fileSet{}
 		collectDirectives(pkg, fs)
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, result: fs})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: facts, result: fs})
 		}
 		for _, d := range fs.allows {
 			if !d.used && active[d.rule] {
@@ -189,9 +192,51 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return all
 }
 
-// Analyzers returns the full TYCOS analyzer suite in a stable order.
+// Analyzers returns the full TYCOS analyzer suite in a stable order: the
+// PR-4 statement-local checks first, then the contract-aware analyzers that
+// lean on the cross-function fact store.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterm, FloatEq, CtxFlow, GoPanic, StdlibOnly}
+	return []*Analyzer{
+		NoDeterm, FloatEq, CtxFlow, GoPanic, StdlibOnly,
+		FingerprintCov, ErrDrop, MutexSpan, SeedFlow,
+	}
+}
+
+// Allow is one active, well-formed suppression directive, surfaced for
+// audits via tycoslint -allows.
+type Allow struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+}
+
+func (a Allow) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", a.Pos.Filename, a.Pos.Line, a.Rule, a.Reason)
+}
+
+// CollectAllows parses every //lint:allow directive in the packages and
+// returns them sorted by position. Malformed directives are omitted here —
+// Run reports those as findings.
+func CollectAllows(pkgs []*Package) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		fs := &fileSet{}
+		collectDirectives(pkg, fs)
+		for _, d := range fs.allows {
+			out = append(out, Allow{Pos: d.pos, Rule: d.rule, Reason: d.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
 }
 
 // ByName resolves a comma-separated rule list against the suite.

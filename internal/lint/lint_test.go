@@ -83,6 +83,10 @@ func TestFixtures(t *testing.T) {
 		{"ctxflow", "ctxflow"},
 		{"gopanic", "gopanic"},
 		{"stdlibonly", "stdlibonly"},
+		{"fingerprintcov", "fingerprintcov"},
+		{"errdrop", "errdrop"},
+		{"mutexspan", "mutexspan"},
+		{"seedflow", "seedflow"},
 		{"directive", ""},
 	}
 	for _, tc := range cases {
@@ -114,6 +118,36 @@ func TestRepoLintsClean(t *testing.T) {
 	diags := Run(pkgs, Analyzers())
 	for _, d := range diags {
 		t.Errorf("repo is not lint-clean: %s", d)
+	}
+}
+
+// TestModernSyntax proves the go/parser + go/types source-importer path
+// handles post-framework language features — generics, min/max builtins, and
+// Go 1.22 range-over-int with per-iteration loop variables — without load
+// errors or false findings. The fixture carries no want annotations, so
+// runFixture doubles as a zero-diagnostics assertion over the full suite.
+func TestModernSyntax(t *testing.T) {
+	runFixture(t, "modern", Analyzers())
+}
+
+// TestCollectAllows pins the -allows audit listing: every well-formed
+// directive in a fixture tree is surfaced with position, rule and reason.
+func TestCollectAllows(t *testing.T) {
+	loader := &Loader{Root: "../.."}
+	pkgs, err := loader.Load("internal/lint/testdata/seedflow/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := CollectAllows(pkgs)
+	if len(allows) != 1 {
+		t.Fatalf("CollectAllows = %d entries, want 1: %v", len(allows), allows)
+	}
+	a := allows[0]
+	if a.Rule != "seedflow" || !strings.Contains(a.Reason, "domain offset") {
+		t.Fatalf("CollectAllows[0] = %+v", a)
+	}
+	if !strings.Contains(a.String(), "fixture.go") || !strings.Contains(a.String(), "[seedflow]") {
+		t.Fatalf("Allow.String() = %q", a.String())
 	}
 }
 

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// mutexspanScope lists the packages where a mutex held across a blocking
+// operation is a liveness bug waiting for load: the daemon serves admission,
+// drain and telemetry under its locks, and the discovery engine coordinates
+// shard workers under its progress lock. internal/checkpoint is deliberately
+// out of scope — the Journal holds its mutex across Write+Sync by design;
+// that serialisation IS its durability contract.
+var mutexspanScope = map[string]bool{
+	"tycos/internal/daemon":    true,
+	"tycos/internal/discovery": true,
+}
+
+// MutexSpan flags blocking operations — channel sends/receives, selects with
+// no default, net/http calls, file fsyncs, and calls to functions the fact
+// store knows to block — executed while a sync.Mutex or sync.RWMutex is
+// held. A blocked lock holder stalls every contender: one slow fsync under
+// the admission lock and no request is admitted or drained until it returns.
+// The analysis is per-statement-list: a span opens at x.Lock()/x.RLock() and
+// closes at the matching unlock on the same receiver expression (a deferred
+// unlock extends the span to the end of the enclosing block).
+var MutexSpan = &Analyzer{
+	Name: "mutexspan",
+	Doc: "no blocking operations (channel ops, selects without default, " +
+		"net/http, fsync, or calls that do any of these) while a mutex is held " +
+		"in the daemon and discovery packages",
+	Run: runMutexSpan,
+}
+
+func runMutexSpan(pass *Pass) {
+	if !mutexspanScope[pass.Pkg.ImportPath] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				scanLockSpans(pass, info, block.List)
+			}
+			return true
+		})
+	})
+}
+
+// lockCall recognises a mutex lock or unlock statement and returns the
+// rendered receiver expression (e.g. "s.admitMu") plus whether it acquires.
+func lockCall(info *types.Info, stmt ast.Stmt) (recv string, acquire, release bool) {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	return lockExpr(info, expr.X)
+}
+
+func lockExpr(info *types.Info, e ast.Expr) (recv string, acquire, release bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// deferredUnlock recognises `defer x.Unlock()` / `defer x.RUnlock()`.
+func deferredUnlock(info *types.Info, stmt ast.Stmt) (string, bool) {
+	def, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return "", false
+	}
+	recv, _, release := lockExpr(info, def.Call)
+	return recv, release
+}
+
+// scanLockSpans walks one statement list, tracking which mutexes are held at
+// each statement and reporting blocking operations inside a held span. Locks
+// whose unlock the linear scan cannot see (conditional unlocks, unlocks in
+// nested blocks) close the span pessimistically at the point of uncertainty
+// rather than flag everything after it.
+func scanLockSpans(pass *Pass, info *types.Info, stmts []ast.Stmt) {
+	held := make(map[string]bool)
+	for _, stmt := range stmts {
+		if recv, acquire, release := lockCall(info, stmt); acquire {
+			held[recv] = true
+			continue
+		} else if release {
+			delete(held, recv)
+			continue
+		}
+		if _, ok := deferredUnlock(info, stmt); ok {
+			// Deferred unlock: the span runs to the end of this block, so the
+			// mutex stays in held and the remaining statements are scanned.
+			continue
+		}
+		if len(held) == 0 {
+			continue
+		}
+		reportBlockingIn(pass, info, stmt, held)
+	}
+}
+
+// reportBlockingIn flags every blocking operation inside stmt while the held
+// mutexes are locked. Nested statement lists are scanned here too (their own
+// Lock/Unlock pairs are handled by the per-block scan; a nested unlock of an
+// outer mutex is rare enough that we accept the conservative span).
+func reportBlockingIn(pass *Pass, info *types.Info, stmt ast.Stmt, held map[string]bool) {
+	names := heldNames(held)
+	walkOwnCode(stmt, func(n ast.Node) {
+		kind := blockingOpKind(info, n)
+		if kind == "" {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && pass.Facts.Blocks(fn) {
+					pass.Report(n.Pos(),
+						"call to %s blocks (channel op, net/http, or fsync in its call tree) while %s is held; a stalled holder blocks every contender",
+						fn.Name(), names)
+				}
+			}
+			return
+		}
+		// An unlock inside the walked subtree is not a blocking op; skip the
+		// call so `if cond { mu.Unlock() }` does not read as a finding.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, release := lockExpr(info, call); release {
+				return
+			}
+		}
+		pass.Report(n.Pos(), "%s while %s is held; a stalled holder blocks every contender", kind, names)
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for name := range held {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 1 {
+		return "mutex " + names[0]
+	}
+	return "mutexes " + strings.Join(names, ", ")
+}

@@ -1,0 +1,70 @@
+// Package checkpoint is a fixture stand-in for the journal write path: the
+// errdrop analyzer scopes by import path, so this tree impersonates
+// tycos/internal/checkpoint.
+package checkpoint
+
+import (
+	"bufio"
+	"os"
+)
+
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// Record stands in for the durability verb on the real Journal.
+func (j *journal) Record(key string) error {
+	_, err := j.w.WriteString(key)
+	return err
+}
+
+func dropStmt(j *journal) {
+	j.Record("x") // want "error from Record is discarded"
+}
+
+func dropBlank(j *journal) {
+	_ = j.f.Sync() // want "error from Sync is assigned to _"
+}
+
+func dropWriteN(j *journal, b []byte) {
+	n, _ := j.f.Write(b) // want "error from Write is assigned to _"
+	_ = n
+}
+
+func dropDefer(j *journal) {
+	defer j.f.Close() // want "error from Close is discarded"
+}
+
+func dropGo(j *journal) {
+	go j.w.Flush() // want "error from Flush is discarded"
+}
+
+// checked handles every error: no findings.
+func checked(j *journal, b []byte) error {
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	return j.f.Close()
+}
+
+// allowedDrop carries a suppression with a stated reason: no finding.
+func allowedDrop(j *journal) {
+	//lint:allow errdrop fixture: read-only handle, a close error cannot lose written data
+	defer j.f.Close()
+}
+
+// noError calls a Write-named method that returns no error: out of scope.
+type counter struct{ n int }
+
+func (c *counter) Write(b []byte) { c.n += len(b) }
+
+func countOnly(c *counter, b []byte) {
+	c.Write(b)
+}

@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"tycos/internal/core"
+)
+
+// HashOptions covers every result-affecting field: no finding.
+func HashOptions(w io.Writer, o core.Options) {
+	fmt.Fprintf(w, "%d|%d|%g|%d", o.SMin, o.SMax, o.Sigma, o.Seed)
+}
+
+// fingerprintComplete reads every result-affecting field directly: no finding.
+func fingerprintComplete(name string, o core.Options) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%d|%d|%g|%d", name, o.SMin, o.SMax, o.Sigma, o.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fingerprintDelegating forwards the whole Options value to HashOptions, so
+// it inherits full coverage through the cross-function fact: no finding.
+func fingerprintDelegating(name string, n int, o core.Options) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%d\x00", name, n)
+	HashOptions(h, o)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fingerprintMissing hashes all result-affecting fields except SMax — the
+// "deleted one field" case must produce exactly one finding.
+func fingerprintMissing(name string, o core.Options) string { // want "does not hash result-affecting core.Options field SMax"
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%d|%g|%d", name, o.SMin, o.Sigma, o.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fingerprintAllowed drops Sigma but carries a suppression: no finding.
+//
+//lint:allow fingerprintcov fixture: legacy v0 journal format predates Sigma; migration covered elsewhere
+func fingerprintAllowed(o core.Options) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", o.SMin, o.SMax, o.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fingerprintBytes hashes raw bytes, not core.Options: out of the analyzer's
+// jurisdiction, no finding.
+func fingerprintBytes(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b) //lint:allow errdrop fixture: hash.Hash Write never returns an error
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,69 @@
+// Package modernpkg exercises the loader's go/types source-importer path on
+// syntax added after the framework was written: generics (type parameters,
+// constraint interfaces, generic instantiation), Go 1.21 min/max builtins,
+// and Go 1.22 range-over-int with per-iteration loop variables. The fixture
+// carries no want annotations — the full analyzer suite must type-check it
+// and report nothing.
+package modernpkg
+
+// number is a union constraint.
+type number interface {
+	~int | ~int64 | ~float64
+}
+
+// pair is a generic struct with two type parameters.
+type pair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// sum folds any numeric slice.
+func sum[T number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// index reports the position of needle using == on a comparable type
+// parameter; floateq must not mistake the type parameter for a float.
+func index[T comparable](xs []T, needle T) int {
+	for i, x := range xs {
+		if x == needle {
+			return i
+		}
+	}
+	return -1
+}
+
+// zip pairs two slices, instantiating the generic struct.
+func zip[K comparable, V any](ks []K, vs []V) []pair[K, V] {
+	n := min(len(ks), len(vs))
+	out := make([]pair[K, V], 0, max(n, 0))
+	for i := range n { // Go 1.22 range-over-int
+		out = append(out, pair[K, V]{key: ks[i], val: vs[i]})
+	}
+	return out
+}
+
+// captures relies on Go 1.22 per-iteration loop variables: each closure
+// observes its own i.
+func captures(n int) []func() int {
+	var fs []func() int
+	for i := range n {
+		fs = append(fs, func() int { return i })
+	}
+	return fs
+}
+
+// useAll keeps every declaration referenced from one exported symbol.
+func UseAll() int {
+	total := sum([]int{1, 2, 3})
+	total += index([]string{"a", "b"}, "b")
+	total += len(zip([]int{1}, []string{"x"}))
+	for _, f := range captures(3) {
+		total += f()
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+// Package daemon is a fixture stand-in for the admission/telemetry layer:
+// the mutexspan analyzer scopes by import path, so this tree impersonates
+// tycos/internal/daemon.
+package daemon
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	admit sync.RWMutex
+	queue chan int
+	f     *os.File
+}
+
+func (s *server) sendHeld() {
+	s.mu.Lock()
+	s.queue <- 1 // want "channel send while mutex s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) recvHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.queue // want "channel receive while mutex s.mu is held"
+}
+
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	n := len(s.queue)
+	s.mu.Unlock()
+	s.queue <- n // span closed: no finding
+}
+
+// nonBlockingAdmit mirrors the real admission path: a select with a default
+// clause never blocks, so holding the read lock across it is fine.
+func (s *server) nonBlockingAdmit(t int) bool {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	select {
+	case s.queue <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *server) blockingSelectHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default while mutex s.mu is held"
+	case v := <-s.queue:
+		return v
+	}
+}
+
+func (s *server) httpHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Get("http://localhost/health") // want "net/http call"
+}
+
+func (s *server) fsyncHeld() {
+	s.mu.Lock()
+	s.f.Sync() // want "file fsync"
+	s.mu.Unlock()
+}
+
+// record is a helper that fsyncs; the Blocks fact propagates through it.
+func (s *server) record(b []byte) error {
+	if _, err := s.f.Write(b); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+func (s *server) indirectHeld() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.record(nil) // want "call to record blocks"
+}
+
+// spawnHeld starts a goroutine while locked: the spawn itself does not
+// block, so no finding.
+func (s *server) spawnHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.queue <- 1
+	}()
+}
+
+// allowedSend carries a suppression with a stated reason: no finding.
+func (s *server) allowedSend() {
+	s.mu.Lock()
+	//lint:allow mutexspan fixture: buffered channel sized to the worker count, send cannot block
+	s.queue <- 1
+	s.mu.Unlock()
+}

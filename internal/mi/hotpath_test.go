@@ -247,8 +247,10 @@ func TestReloadMatchesBulk(t *testing.T) {
 		if (ferr == nil) != (rerr == nil) {
 			t.Fatalf("round %d: error mismatch %v vs %v", round, ferr, rerr)
 		}
+		// Exact float inequality is deliberate: bit-identity is the Reload
+		// contract. (The linter does not parse test files, so no allow
+		// directive is needed.)
 		if fm != rm {
-			//lint:allow floateq bit-identity is the Reload contract
 			t.Errorf("round %d: fresh %.17g vs reloaded %.17g", round, fm, rm)
 		}
 		if fresh.Ops() != reused.Ops() {

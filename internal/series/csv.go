@@ -99,7 +99,7 @@ func SaveCSV(path string, cols ...Series) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdrop backstop for early error returns; the success path returns the explicit Close below
 	if err := WriteCSV(f, cols...); err != nil {
 		return err
 	}
@@ -112,7 +112,7 @@ func LoadCSV(path string) ([]Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdrop read-only handle; a close error cannot lose data
 	return ReadCSV(f)
 }
 
