@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tycos/internal/mi"
+)
+
+// runKNN measures the k-NN engine layer behind the KSG estimator: the
+// per-estimate cost of every registered engine on the drift corpus, the
+// exact-vs-approximate scaling across corpus sizes, and the bounded-MI-error
+// acceptance gate. The speedup_vs_exact column is computed against the exact
+// kd-tree timed in the same run, so the number is meaningful on any machine;
+// the drift columns come from mi.MeasureEngineDrift on the same corpus the
+// timings use.
+func runKNN(out string, quick bool) {
+	const (
+		k    = 4
+		seed = 42
+		// eps is the default drift bound the bounded mode is gated at: the
+		// forest's measured worst case is ~0.12 nats on the large corpora,
+		// so 0.15 accepts the shipped defaults with headroom while refusing
+		// anything that degrades past them.
+		eps = 0.15
+	)
+	// The scaling set starts where the approximate engine is meant to be
+	// used: below a few thousand points the exact kd-tree is already cheap
+	// (and the forest's fixed budget is a large fraction of the point set,
+	// so its drift is at its worst). The cross-engine reference table below
+	// still covers the small-m regime.
+	sizes := []int{4096, 16384, 65536}
+	if quick {
+		sizes = []int{2048}
+	}
+
+	rep := report{
+		Benchmark: "tycosbench -knn (k-NN engine layer)",
+		Description: fmt.Sprintf(
+			"Per-estimate KSG cost by k-NN engine on the drift corpus (mi.DriftCorpus(seed=%d): gaussians, tied lattice, lognormal; k=%d), "+
+				"exact kd-tree vs approximate kd-forest scaling across corpus sizes, and the bounded-MI-error gate "+
+				"(mi.NewBoundedKSG at eps=%.2f nats). speedup_vs_exact compares against the exact kd-tree timed in the same run; "+
+				"max_abs_drift is the worst |I_engine - I_exact| over the same corpus. The approximate backend's batched "+
+				"sweep streams flat SoA windows, so its advantage grows with m while the exact tree degrades with cache pressure.",
+			seed, k, eps),
+		Date: time.Now().Format("2006-01-02"),
+		Runner: runner{
+			CPU:        "see go test -bench output on this host",
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       "per-estimate rows are one full KSG Estimate (build + queries + marginal counts), averaged over the corpus",
+		},
+		Benchtime: "1s (testing.Benchmark default)",
+		Reproduce: "go run ./cmd/tycosbench -knn -out BENCH_KNN.json (quick smoke: go run ./cmd/tycosbench -knn -quick)",
+	}
+
+	// estimateNs times one warm Estimate averaged over the corpus.
+	estimateNs := func(est *mi.KSG, corpus []mi.DriftSample) (int64, int64) {
+		for _, s := range corpus {
+			if _, err := est.Estimate(s.X, s.Y); err != nil {
+				fatal(err)
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, s := range corpus {
+					if _, err := est.Estimate(s.X, s.Y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		n := int64(len(corpus))
+		return r.NsPerOp() / n, r.AllocsPerOp() / n
+	}
+
+	add := func(res result) {
+		rep.Results = append(rep.Results, res)
+		line := fmt.Sprintf("%-32s %12d ns/op %6d allocs/op", res.Workload, res.NsPerOp, res.AllocsPerOp)
+		if res.SpeedupVsExact > 0 {
+			line += fmt.Sprintf("  speedup_vs_exact=%.2f", res.SpeedupVsExact)
+		}
+		if res.MaxAbsDrift > 0 {
+			line += fmt.Sprintf("  max_abs_drift=%.4f", res.MaxAbsDrift)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+
+	// Every registered engine on a small corpus: the cross-backend
+	// reference table (brute is O(m^2) and only belongs here).
+	smallest := 1024
+	if quick {
+		smallest = sizes[0]
+	}
+	small := mi.DriftCorpus(seed, smallest)
+	for _, engine := range mi.EngineNames() {
+		est, err := mi.NewKSGNamed(k, engine, seed)
+		if err != nil {
+			fatal(err)
+		}
+		ns, allocs := estimateNs(est, small)
+		note := "exact"
+		if !est.Exact() {
+			note = "approximate (default budget)"
+		}
+		add(result{
+			Workload:    fmt.Sprintf("knn-estimate/%s/m_%d", engine, smallest),
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
+			Iterations:  len(small),
+			Note:        note + ", warm estimator, averaged over the drift corpus",
+		})
+	}
+
+	// Exact vs approximate scaling: one exact and one forest row per corpus
+	// size, speedup and drift measured against each other in the same run.
+	for _, m := range sizes {
+		corpus := mi.DriftCorpus(seed, m)
+		exact := mi.NewKSG(k, mi.BackendKDTree)
+		forest, err := mi.NewKSGNamed(k, "forest", seed)
+		if err != nil {
+			fatal(err)
+		}
+		exNs, exAllocs := estimateNs(exact, corpus)
+		foNs, foAllocs := estimateNs(forest, corpus)
+		drift, err := mi.MeasureEngineDrift("forest", k, seed, corpus)
+		if err != nil {
+			fatal(err)
+		}
+		add(result{
+			Workload:    fmt.Sprintf("knn-scaling/exact/m_%d", m),
+			NsPerOp:     exNs,
+			AllocsPerOp: exAllocs,
+			Iterations:  len(corpus),
+			Note:        "exact kd-tree baseline",
+		})
+		add(result{
+			Workload:       fmt.Sprintf("knn-scaling/forest/m_%d", m),
+			NsPerOp:        foNs,
+			AllocsPerOp:    foAllocs,
+			Iterations:     len(corpus),
+			SpeedupVsExact: float64(exNs) / float64(foNs),
+			MaxAbsDrift:    drift.MaxAbsDrift,
+			Epsilon:        eps,
+			Note: fmt.Sprintf("approximate, mean_abs_drift=%.4f worst=%s",
+				drift.MeanAbsDrift, drift.WorstLabel),
+		})
+	}
+
+	// Bounded-MI-error gate: the shipped forest defaults must be accepted at
+	// the default eps, and a pathologically tight bound must be refused — the
+	// harness's whole point is that it can say no.
+	gateM := sizes[len(sizes)-1]
+	if gateM > 4096 {
+		gateM = 4096
+	}
+	gateCorpus := mi.DriftCorpus(seed, gateM)
+	if _, repAccept, err := mi.NewBoundedKSG(k, "forest", seed, eps, gateCorpus); err != nil {
+		fatal(fmt.Errorf("bounded-mode gate: forest defaults refused at eps=%.2f: %w", eps, err))
+	} else {
+		add(result{
+			Workload:    fmt.Sprintf("knn-bounded/forest/m_%d", gateM),
+			MaxAbsDrift: repAccept.MaxAbsDrift,
+			Epsilon:     eps,
+			Iterations:  repAccept.Samples,
+			Note: fmt.Sprintf("accepted at eps=%.2f (mean_abs_drift=%.4f worst=%s)",
+				eps, repAccept.MeanAbsDrift, repAccept.WorstLabel),
+		})
+	}
+	if _, repRefuse, err := mi.NewBoundedKSG(k, "forest", seed, 0.001, gateCorpus); err == nil {
+		fatal(fmt.Errorf("bounded-mode gate: forest accepted at eps=0.001 (drift %.4f) — the refusal path is broken", repRefuse.MaxAbsDrift))
+	} else {
+		add(result{
+			Workload:    fmt.Sprintf("knn-bounded/refusal/m_%d", gateM),
+			MaxAbsDrift: repRefuse.MaxAbsDrift,
+			Epsilon:     0.001,
+			Iterations:  repRefuse.Samples,
+			Note:        "refused as designed: " + err.Error(),
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", out, len(rep.Results))
+}

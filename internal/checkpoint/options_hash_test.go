@@ -45,6 +45,16 @@ func TestHashOptionsGolden(t *testing.T) {
 	if got := buf.String(); got != wantZero {
 		t.Fatalf("HashOptions zero-value bytes changed:\n got %q\nwant %q", got, wantZero)
 	}
+
+	// An explicit engine choice appends one field; the empty default above
+	// proves pre-engine fingerprints keep their byte layout.
+	buf.Reset()
+	o.KNNEngine = "forest"
+	HashOptions(&buf, o)
+	wantEngine := want + "|forest"
+	if got := buf.String(); got != wantEngine {
+		t.Fatalf("HashOptions engine bytes changed:\n got %q\nwant %q", got, wantEngine)
+	}
 }
 
 // hashInvariantFields are the exported Options fields that must NOT move the
@@ -74,6 +84,8 @@ func nonZeroFor(t *testing.T, field reflect.StructField) reflect.Value {
 		v.SetInt(7)
 	case reflect.Float64:
 		v.SetFloat(0.5)
+	case reflect.String:
+		v.SetString("forest")
 	default:
 		t.Fatalf("no non-zero value for field %s of type %s", field.Name, field.Type)
 	}

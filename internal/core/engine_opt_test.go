@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSearchKNNEngineSelection covers the Options.KNNEngine plumbing: the
+// explicit exact engine is byte-identical to the default, the approximate
+// forest still finds the embedded correlation, and invalid configurations
+// are rejected with named errors.
+func TestSearchKNNEngineSelection(t *testing.T) {
+	p := testPair(3, 300, 120, 180, 0)
+
+	base := defaultOpts()
+	base.Variant = VariantL
+	want, err := Search(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit "kdtree" must run the identical arithmetic in the identical
+	// order — same windows, same stats, bit for bit.
+	exact := base
+	exact.KNNEngine = "kdtree"
+	got, err := Search(p, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Windows, got.Windows) {
+		t.Fatalf("kdtree engine windows differ from default:\n got %v\nwant %v", got.Windows, want.Windows)
+	}
+	if want.Stats.Deterministic() != got.Stats.Deterministic() {
+		t.Fatalf("kdtree engine stats differ from default:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+
+	// The approximate forest trades bounded MI error for throughput; it must
+	// still surface the embedded segment.
+	forest := base
+	forest.KNNEngine = "forest"
+	fres, err := Search(p, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !overlapsSegment(fres.Windows, 120, 180) {
+		t.Errorf("forest engine windows %v miss the embedded segment [120,180]", fres.Windows)
+	}
+	// And stay deterministic for a fixed seed.
+	fres2, err := Search(p, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fres.Windows, fres2.Windows) {
+		t.Fatalf("forest engine not deterministic for fixed seed:\n%v\nvs\n%v", fres.Windows, fres2.Windows)
+	}
+}
+
+func TestSearchKNNEngineValidation(t *testing.T) {
+	p := testPair(3, 120, 40, 80, 0)
+
+	bad := defaultOpts()
+	bad.Variant = VariantL
+	bad.KNNEngine = "no-such-engine"
+	if _, err := Search(p, bad); err == nil {
+		t.Error("want error for unknown engine")
+	} else if !strings.Contains(err.Error(), "no-such-engine") || !strings.Contains(err.Error(), "kdtree") {
+		t.Errorf("error should name the engine and list registered ones: %v", err)
+	}
+
+	inc := defaultOpts()
+	inc.Variant = VariantLMN
+	inc.KNNEngine = "forest"
+	if _, err := Search(p, inc); err == nil {
+		t.Error("want error for engine + incremental variant")
+	} else if !strings.Contains(err.Error(), "TYCOS_LMN") {
+		t.Errorf("error should name the variant: %v", err)
+	}
+}

@@ -1,0 +1,623 @@
+package knn
+
+import "math"
+
+// Forest is the approximate k-NN engine: a small forest of randomized k-d
+// trees (the countrymaam/FLANN family) searched depth-first under a shared
+// candidate budget. Leaves hold contiguous runs of a flat SoA coordinate
+// copy, so the scan that dominates query time is two sequential float64
+// streams.
+//
+// Approximation model: each tree is searched near-branch-first with the
+// usual lower-bound pruning, but far branches are abandoned outright once
+// Config.Checks candidates have been examined with k results in hand, so a
+// true neighbour whose branch lies past the budget can be missed.
+// Everything else is exact — marginal range counts use sorted multisets, and
+// candidate ranking uses the same (distance, index) total order as the exact
+// engines. Two consequences the tests pin:
+//
+//   - Determinism: answers are a pure function of (points, Config). Tree
+//     shapes derive from Config.Seed through the SplitMix64 idiom, and the
+//     traversal order is structural (near then far, trees in index order).
+//   - Exactness under budget: when Checks ≥ the point count the budget cut
+//     never fires, the traversal degenerates to the standard exact
+//     branch-and-bound, and answers equal Brute's bit-for-bit.
+//
+// The approximation error the KSG estimator inherits — missed neighbours
+// inflate nothing but occasionally shrink the kth-neighbour radius seen —
+// is quantified by the differential harness in internal/mi (MeasureEngineDrift),
+// and the bounded-error constructor refuses configurations whose MI drift
+// exceeds the caller's ε.
+type Forest struct {
+	marginals
+	trees  int
+	checks int
+	seed   int64
+
+	pts []Point
+	fts []forestTree
+	idx []int32 // build scratch: the permutation being partitioned
+	bxs []float64
+	bys []float64 // build-time coordinate views (original index order)
+
+	visited []uint64 // query scratch: cross-tree dedupe bitmap
+	buf     []Neighbor
+
+	// Batch answer cache: SelfKNearest answers for every indexed point,
+	// computed in one leaf-ordered sweep on the first call after Build (the
+	// batched-query path — see computeBatch). rowLen is min(k, n−1).
+	batch      []Neighbor
+	dbuf       []float64 // batch scratch: one window of distances
+	batchK     int
+	batchValid bool
+	rowLen     int
+
+	// Per-query state shared by the recursive search, hoisted here so the
+	// recursion passes two words instead of eight. The running k-best set
+	// (res) is kept UNSORTED with its worst element tracked by index — every
+	// candidate is admitted or rejected by inline compares in the leaf loop,
+	// with no per-candidate function calls; the final (distance, index) sort
+	// happens once per query.
+	q        Point
+	want     int
+	exclude  int
+	budget   int
+	checked  int
+	multi    bool
+	full     bool    // res holds want results
+	worst    float64 // res[worstIdx].Dist when full
+	worstIdx int
+	res      []Neighbor
+}
+
+// DefaultForestTrees is the number of randomized trees built when
+// Config.Trees is zero. One tree engages the batched self-query sweep (the
+// fast path the estimator hits); more trees raise recall for the traversal
+// path at proportional cost.
+const DefaultForestTrees = 1
+
+// DefaultForestChecks is the per-query candidate budget when Config.Checks
+// is zero. Budgets at or above the point count make queries exact.
+const DefaultForestChecks = 128
+
+// forestLeafSize is the maximum points per leaf; leaves are scanned linearly
+// over the SoA arrays, so they are sized so one leaf roughly covers the
+// default candidate budget — the scan is two sequential float64 streams and
+// costs far less per point than a traversal step.
+const forestLeafSize = 16
+
+// forestTree is one randomized k-d tree: a node arena plus leaf-ordered
+// copies of the point ids and coordinates (leaves reference contiguous
+// ranges of these arrays).
+type forestTree struct {
+	nodes  []forestNode
+	ids    []int32
+	xs, ys []float64
+}
+
+// forestNode is an internal split (axis 0/1) or a leaf (axis −1, left/right
+// holding the [start, end) range into the tree's leaf-ordered arrays).
+type forestNode struct {
+	split       float64
+	left, right int32
+	axis        int8
+}
+
+// newForest constructs a Forest with defaults applied.
+func newForest(cfg Config) *Forest {
+	trees := cfg.Trees
+	if trees <= 0 {
+		trees = DefaultForestTrees
+	}
+	checks := cfg.Checks
+	if checks <= 0 {
+		checks = DefaultForestChecks
+	}
+	return &Forest{trees: trees, checks: checks, seed: cfg.Seed}
+}
+
+// Build implements Engine: it rebuilds every tree over pts, reusing the node
+// arenas, permutation scratch and SoA arrays of earlier builds.
+func (f *Forest) Build(pts []Point, xs, ys []float64) {
+	f.pts = pts
+	f.batchValid = false
+	f.bxs, f.bys = xs, ys
+	f.build(xs, ys)
+	if cap(f.fts) < f.trees {
+		f.fts = make([]forestTree, f.trees)
+	}
+	f.fts = f.fts[:f.trees]
+	n := len(pts)
+	for t := range f.fts {
+		ft := &f.fts[t]
+		ft.nodes = ft.nodes[:0]
+		if cap(f.idx) < n {
+			f.idx = make([]int32, n)
+		}
+		f.idx = f.idx[:n]
+		for i := range f.idx {
+			f.idx[i] = int32(i)
+		}
+		if n > 0 {
+			rng := sm64{state: forestSeed(f.seed, t)}
+			f.buildNode(ft, &rng, 0, n)
+		}
+		ft.ids = append(ft.ids[:0], f.idx...)
+		ft.xs = ft.xs[:0]
+		ft.ys = ft.ys[:0]
+		for _, id := range f.idx {
+			ft.xs = append(ft.xs, xs[id])
+			ft.ys = append(ft.ys, ys[id])
+		}
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer — the repo's seed-derivation
+// primitive (the same mixer internal/core uses for restart segments), copied
+// here because knn sits below core in the dependency order.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// forestSeed derives tree t's build seed from the root seed through the
+// mixer, so nearby roots and tree indices get uncorrelated streams.
+func forestSeed(root int64, tree int) uint64 {
+	h := splitmix64(uint64(root))
+	return splitmix64(h ^ uint64(tree))
+}
+
+// sm64 is a SplitMix64 sequence generator: the counter-based PRNG whose
+// finalizer is the repo's seed-derivation primitive. It replaces math/rand
+// in the build so a warm Forest.Build allocates nothing (rand.New heap-
+// allocates its state) and stays trivially deterministic.
+type sm64 struct{ state uint64 }
+
+func (r *sm64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// buildNode partitions idx[lo:hi) and appends the subtree's nodes to the
+// arena in preorder, returning the subtree root's node id.
+func (f *Forest) buildNode(ft *forestTree, rng *sm64, lo, hi int) int32 {
+	id := int32(len(ft.nodes))
+	if hi-lo <= forestLeafSize {
+		ft.nodes = append(ft.nodes, forestNode{axis: -1, left: int32(lo), right: int32(hi)})
+		return id
+	}
+	axis := f.chooseAxis(rng, lo, hi)
+	coords := f.bxs
+	if axis == 1 {
+		coords = f.bys
+	}
+	mid := lo + (hi-lo)/2
+	f.selectMedian(f.idx[lo:hi], mid-lo, coords)
+	ft.nodes = append(ft.nodes, forestNode{axis: int8(axis), split: coords[f.idx[mid]]})
+	left := f.buildNode(ft, rng, lo, mid)
+	right := f.buildNode(ft, rng, mid, hi)
+	ft.nodes[id].left = left
+	ft.nodes[id].right = right
+	return id
+}
+
+// chooseAxis picks the split axis for idx[lo:hi): the wider-span axis, with
+// a 1-in-4 randomized flip when both axes have spread — the randomization
+// that de-correlates the forest's trees.
+func (f *Forest) chooseAxis(rng *sm64, lo, hi int) int {
+	minX, maxX := f.bxs[f.idx[lo]], f.bxs[f.idx[lo]]
+	minY, maxY := f.bys[f.idx[lo]], f.bys[f.idx[lo]]
+	for _, id := range f.idx[lo+1 : hi] {
+		if v := f.bxs[id]; v < minX {
+			minX = v
+		} else if v > maxX {
+			maxX = v
+		}
+		if v := f.bys[id]; v < minY {
+			minY = v
+		} else if v > maxY {
+			maxY = v
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	axis := 0
+	if spanY > spanX {
+		axis = 1
+	}
+	if spanX > 0 && spanY > 0 && rng.next()&3 == 0 {
+		axis ^= 1
+	}
+	return axis
+}
+
+// selectMedian places the element a full sort under (coord, index) would put
+// at position mid, smaller before and larger after — quickselect with
+// median-of-three pivots, mirroring the exact kd-tree's build order so tied
+// coordinates partition deterministically.
+func (f *Forest) selectMedian(idx []int32, mid int, coords []float64) {
+	less := func(a, b int32) bool {
+		va, vb := coords[a], coords[b]
+		//lint:allow floateq exact compare feeds the index tie-break; a tolerant compare would break the strict total order the deterministic build relies on
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	}
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && less(idx[j], idx[j-1]); j-- {
+					idx[j], idx[j-1] = idx[j-1], idx[j]
+				}
+			}
+			return
+		}
+		m := lo + (hi-lo)/2
+		if less(idx[m], idx[lo]) {
+			idx[m], idx[lo] = idx[lo], idx[m]
+		}
+		if less(idx[hi], idx[lo]) {
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if less(idx[hi], idx[m]) {
+			idx[hi], idx[m] = idx[m], idx[hi]
+		}
+		idx[m], idx[hi-1] = idx[hi-1], idx[m]
+		pivot := idx[hi-1]
+		i := lo
+		for j := lo; j < hi-1; j++ {
+			if less(idx[j], pivot) {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+			}
+		}
+		idx[i], idx[hi-1] = idx[hi-1], idx[i]
+		switch {
+		case i == mid:
+			return
+		case mid < i:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
+}
+
+// SelfKNearest implements Engine's batched-query path. With a single tree
+// (the default) the first call after Build answers EVERY self-query in one
+// leaf-ordered sweep (computeBatch) and later calls return cached rows; the
+// cached slices stay valid until the next Build, which over-delivers on the
+// contract. Multi-tree forests answer per query through the budgeted
+// traversal.
+func (f *Forest) SelfKNearest(i, k int) []Neighbor {
+	if len(f.fts) == 1 {
+		if !f.batchValid || f.batchK != k {
+			f.computeBatch(k)
+		}
+		if f.rowLen == 0 {
+			return nil
+		}
+		return f.batch[i*f.rowLen : (i+1)*f.rowLen]
+	}
+	nn := f.query(f.pts[i], k, i, f.buf)
+	f.buf = nn[:0]
+	return nn
+}
+
+// computeBatch is the batched-query path: one pass over the tree's
+// leaf-ordered point array answering the self-query of every member. The
+// leaf order is a serialization of the tree's space partition, so a window
+// of the array centred on a point is a spatial neighbourhood of it; each
+// query scans its own window outward — right then left — so candidates
+// arrive in roughly increasing distance, the running worst tightens almost
+// immediately, and admissions stay near k. Consecutive queries slide the
+// window by one, keeping the whole inner loop in cache. When the budget
+// covers the point count the window is the entire array and every answer is
+// exact — bit-for-bit with Brute, the property the differential suite pins,
+// because k-best under the (distance, index) total order is independent of
+// scan order.
+func (f *Forest) computeBatch(k int) {
+	n := len(f.pts)
+	f.batchK = k
+	f.batchValid = true
+	rowLen := k
+	if rowLen > n-1 {
+		rowLen = n - 1
+	}
+	if rowLen < 0 {
+		rowLen = 0
+	}
+	f.rowLen = rowLen
+	need := n * rowLen
+	if cap(f.batch) < need {
+		f.batch = make([]Neighbor, need)
+	}
+	f.batch = f.batch[:need]
+	if rowLen == 0 {
+		return
+	}
+	budget := f.checks
+	if budget < k+1 {
+		budget = k + 1
+	}
+	if budget > n {
+		budget = n
+	}
+	ft := &f.fts[0]
+	ids, xs, ys := ft.ids, ft.xs, ft.ys
+	xs = xs[:len(ids)]
+	ys = ys[:len(ids)]
+	if cap(f.dbuf) < budget {
+		f.dbuf = make([]float64, budget)
+	}
+	dbuf := f.dbuf[:budget]
+	for qj := range ids {
+		// Window of `budget` slots centred on the query, clipped at the array
+		// ends with the clipped share given to the other side.
+		wlo := qj - budget/2
+		if wlo < 0 {
+			wlo = 0
+		} else if wlo > n-budget {
+			wlo = n - budget
+		}
+		qx, qy := xs[qj], ys[qj]
+		// Phase 1: distances for the whole window, branch-free. The window
+		// slides by one between queries, so these loads are cache-resident.
+		wxs := xs[wlo : wlo+budget]
+		wys := ys[wlo : wlo+budget]
+		for j := range wxs {
+			dx := math.Abs(wxs[j] - qx)
+			dy := math.Abs(wys[j] - qy)
+			dbuf[j] = max(dx, dy)
+		}
+		// Phase 2: k-best selection, scanning outward from the query — right
+		// then left — so distances arrive roughly increasing, the running
+		// worst tightens almost immediately, and admissions stay near k.
+		base := int(ids[qj]) * rowLen
+		res := f.batch[base : base : base+rowLen]
+		full := false
+		worst := 0.0
+		worstIdx := 0
+		for j := qj + 1; j < wlo+budget; j++ {
+			d := dbuf[j-wlo]
+			if full {
+				if d > worst {
+					continue
+				}
+				id := int(ids[j])
+				//lint:allow floateq exact distance ties break by index under the deterministic (distance, index) total order
+				if d == worst && id > res[worstIdx].Index {
+					continue
+				}
+				res[worstIdx] = Neighbor{Index: id, Dist: d}
+			} else {
+				id := int(ids[j])
+				res = append(res, Neighbor{Index: id, Dist: d})
+				if len(res) < rowLen {
+					continue
+				}
+				full = true
+			}
+			worstIdx = 0
+			for t := 1; t < len(res); t++ {
+				if neighborLess(res[worstIdx], res[t]) {
+					worstIdx = t
+				}
+			}
+			worst = res[worstIdx].Dist
+		}
+		for j := qj - 1; j >= wlo; j-- {
+			d := dbuf[j-wlo]
+			if full {
+				if d > worst {
+					continue
+				}
+				id := int(ids[j])
+				//lint:allow floateq exact distance ties break by index under the deterministic (distance, index) total order
+				if d == worst && id > res[worstIdx].Index {
+					continue
+				}
+				res[worstIdx] = Neighbor{Index: id, Dist: d}
+			} else {
+				id := int(ids[j])
+				res = append(res, Neighbor{Index: id, Dist: d})
+				if len(res) < rowLen {
+					continue
+				}
+				full = true
+			}
+			worstIdx = 0
+			for t := 1; t < len(res); t++ {
+				if neighborLess(res[worstIdx], res[t]) {
+					worstIdx = t
+				}
+			}
+			worst = res[worstIdx].Dist
+		}
+		maxHeap(res).sortInPlace()
+	}
+}
+
+// KNearestInto answers an arbitrary query the same way (the Index-shaped
+// entry point used by the differential tests).
+func (f *Forest) KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor {
+	return f.query(q, k, exclude, buf)
+}
+
+// KNearest implements Index.
+func (f *Forest) KNearest(q Point, k, exclude int) []Neighbor {
+	return f.query(q, k, exclude, nil)
+}
+
+// query runs the budgeted depth-first search over all trees: each tree is
+// descended near-branch-first, far branches carry the usual L∞ lower bound
+// and are pruned when the bound exceeds the current worst — or cut outright
+// once the candidate budget is spent with k results held. The plain
+// recursion costs a fraction of a best-first priority queue and visits the
+// same first leaves (the near path IS the best-first prefix within a tree).
+func (f *Forest) query(q Point, k, exclude int, buf []Neighbor) []Neighbor {
+	n := len(f.pts)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	avail := n
+	if exclude >= 0 && exclude < n {
+		avail--
+	}
+	want := k
+	if want > avail {
+		want = avail
+	}
+	if want == 0 {
+		return nil
+	}
+	f.q, f.want, f.exclude = q, want, exclude
+	f.budget = f.checks
+	if f.budget < want {
+		f.budget = want
+	}
+	f.checked = 0
+	f.res = buf[:0]
+	f.full = false
+	f.worst = 0
+	f.worstIdx = 0
+	f.multi = len(f.fts) > 1
+	if f.multi {
+		f.resetVisited(n)
+	}
+	for t := range f.fts {
+		f.searchNode(&f.fts[t], 0, 0)
+		if f.checked >= f.budget && f.full {
+			break
+		}
+	}
+	h := maxHeap(f.res)
+	f.res = nil
+	h.sortInPlace()
+	return h
+}
+
+// searchNode is the recursive branch-and-bound step: bound is the L∞ lower
+// bound on the distance from the query to any point under node.
+func (f *Forest) searchNode(ft *forestTree, node int32, bound float64) {
+	if f.full && bound > f.worst {
+		return
+	}
+	nd := ft.nodes[node]
+	if nd.axis >= 0 {
+		diff := f.q.X - nd.split
+		if nd.axis == 1 {
+			diff = f.q.Y - nd.split
+		}
+		near, far := nd.left, nd.right
+		if diff >= 0 {
+			near, far = far, near
+		}
+		f.searchNode(ft, near, bound)
+		// The budget cut: once enough candidates have been examined with k
+		// results in hand, far branches everywhere up the path are abandoned.
+		if f.checked >= f.budget && f.full {
+			return
+		}
+		fb := bound
+		if ad := abs64(diff); ad > fb {
+			fb = ad
+		}
+		f.searchNode(ft, far, fb)
+		return
+	}
+	// Leaf scan over the SoA run. Everything stays inline: a candidate is
+	// rejected by one float compare against the tracked worst, and an
+	// admission replaces the worst element and re-scans the ≤k-element set —
+	// k−1 compares, no calls. The selection rule is identical to maxHeap.push:
+	// a candidate wins on (distance, index), so exact-budget runs return the
+	// same set as the exact engines, bit for bit.
+	lo, hi := int(nd.left), int(nd.right)
+	ids := ft.ids[lo:hi]
+	lxs := ft.xs[lo:hi]
+	lys := ft.ys[lo:hi]
+	qx, qy := f.q.X, f.q.Y
+	exclude, multi := f.exclude, f.multi
+	res := f.res
+	full, worst, worstIdx := f.full, f.worst, f.worstIdx
+	checked, budget := f.checked, f.budget
+	for j, id32 := range ids {
+		// The budget cut also applies mid-leaf: once enough candidates are
+		// examined with k results held, the rest of the run is skipped.
+		// Unreachable when Checks ≥ n (exactness under full budget).
+		if checked >= budget && full {
+			break
+		}
+		id := int(id32)
+		if id == exclude {
+			continue
+		}
+		if multi {
+			w, b := id>>6, uint64(1)<<(id&63)
+			if f.visited[w]&b != 0 {
+				continue
+			}
+			f.visited[w] |= b
+		}
+		checked++
+		d := chebyshevCoords(lxs[j], lys[j], qx, qy)
+		if full {
+			//lint:allow floateq exact distance ties break by index under the deterministic (distance, index) total order
+			if d > worst || (d == worst && id > res[worstIdx].Index) {
+				continue
+			}
+			res[worstIdx] = Neighbor{Index: id, Dist: d}
+		} else {
+			res = append(res, Neighbor{Index: id, Dist: d})
+			if len(res) < f.want {
+				continue
+			}
+			full = true
+		}
+		worstIdx = 0
+		for t := 1; t < len(res); t++ {
+			if neighborLess(res[worstIdx], res[t]) {
+				worstIdx = t
+			}
+		}
+		worst = res[worstIdx].Dist
+	}
+	f.res = res
+	f.full, f.worst, f.worstIdx = full, worst, worstIdx
+	f.checked = checked
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// resetVisited clears (and sizes) the cross-tree dedupe bitmap for n points.
+func (f *Forest) resetVisited(n int) {
+	words := (n + 63) / 64
+	if cap(f.visited) < words {
+		f.visited = make([]uint64, words)
+		return
+	}
+	f.visited = f.visited[:words]
+	for i := range f.visited {
+		f.visited[i] = 0
+	}
+}
+
+// Len implements Engine.
+func (f *Forest) Len() int { return len(f.pts) }
+
+// Exact implements Engine: forest answers are approximate under budget.
+func (f *Forest) Exact() bool { return false }
+
+// Name implements Engine.
+func (f *Forest) Name() string { return "forest" }

@@ -68,8 +68,14 @@ func GridCellFor(sample []Point, k int) float64 {
 		minY = math.Min(minY, p.Y)
 		maxY = math.Max(maxY, p.Y)
 	}
+	// !(span > 0) rather than span <= 0: a NaN span (any NaN coordinate in
+	// the sample) fails every ordered comparison, so the old form let NaN
+	// through and returned a NaN cell size that only Grid.Reset's fallback
+	// masked later. An infinite span (coordinates straddling ±huge) would
+	// likewise produce a useless infinite cell. Both get the documented
+	// fallback of 1 at derivation time.
 	span := math.Max(maxX-minX, maxY-minY)
-	if span <= 0 {
+	if !(span > 0) || math.IsInf(span, 1) {
 		return 1
 	}
 	if k < 1 {
@@ -115,7 +121,31 @@ func (g *Grid) Point(id int) (Point, bool) {
 }
 
 func (g *Grid) key(p Point) [2]int32 {
-	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+	return [2]int32{cellCoord(p.X, g.cell), cellCoord(p.Y, g.cell)}
+}
+
+// cellCoord maps a coordinate to its cell index, saturating at the int32
+// range. A plain int32(math.Floor(v / cell)) is implementation-specific for
+// values beyond ±2³¹ cells (Go spec: the behaviour of out-of-range
+// float→int conversions is not defined), which silently corrupted keys for
+// extreme-magnitude points or tiny cell sizes. Saturation keeps the mapping
+// monotone and 1-Lipschitz in cell units — key distance never exceeds true
+// cell distance — so the ring search's termination bound ("everything in
+// rings beyond r is at least r·cell away") still holds; far-flung points
+// merely collapse into the boundary cells, degrading locality, not
+// correctness. NaN coordinates map to cell 0.
+func cellCoord(v, cell float64) int32 {
+	f := math.Floor(v / cell)
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if f <= math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(f)
 }
 
 // Insert adds the point under id. Inserting an existing id replaces its
@@ -196,20 +226,39 @@ func (g *Grid) KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor 
 		return nil
 	}
 	h := maxHeap(buf[:0])
-	center := g.key(q)
+	center := [2]int64{int64(cellCoord(q.X, g.cell)), int64(cellCoord(q.Y, g.cell))}
 	// The bounding box of occupied cells caps the ring search; the box is
 	// conservative after removals, but empty rings cost only their perimeter
-	// lookups.
-	maxRing := int32(0)
-	for _, d := range [4]int32{
-		center[0] - g.minCx, g.maxCx - center[0],
-		center[1] - g.minCy, g.maxCy - center[1],
+	// lookups. The distances are computed in int64: the saturated box can
+	// legitimately span the whole int32 range, where an int32 subtraction
+	// would wrap.
+	maxRing := int64(0)
+	for _, d := range [4]int64{
+		center[0] - int64(g.minCx), int64(g.maxCx) - center[0],
+		center[1] - int64(g.minCy), int64(g.maxCy) - center[1],
 	} {
 		if d > maxRing {
 			maxRing = d
 		}
 	}
-	for r := int32(0); r <= maxRing; r++ {
+	// A ring sweep costs at least one perimeter visit per ring; when the box
+	// spans more rings than there are points (extreme-magnitude outliers,
+	// tiny cells), a linear scan is strictly cheaper than even the empty
+	// rings. k-best under the strict (distance, index) total order is
+	// insertion-order independent, so scanning the point map directly returns
+	// the same neighbour set the rings would.
+	if maxRing > int64(len(g.pts)) {
+		//lint:allow nodeterm bounded (distance, index) selection is a commutative fold; map iteration order cannot change the selected set
+		for id, p := range g.pts {
+			if id == exclude {
+				continue
+			}
+			h.push(Neighbor{Index: id, Dist: Chebyshev(q, p)}, k)
+		}
+		h.sortInPlace()
+		return h
+	}
+	for r := int64(0); r <= maxRing; r++ {
 		g.scanRing(center, r, q, k, exclude, &h)
 		// Any point in a ring > r is at least r·cell away (the query point
 		// sits somewhere inside the centre cell, so ring r+1 cells start at
@@ -222,9 +271,16 @@ func (g *Grid) KNearestInto(q Point, k, exclude int, buf []Neighbor) []Neighbor 
 	return h
 }
 
-func (g *Grid) scanRing(center [2]int32, r int32, q Point, k, exclude int, h *maxHeap) {
-	visit := func(cx, cy int32) {
-		for _, e := range g.cells[[2]int32{cx, cy}] {
+func (g *Grid) scanRing(center [2]int64, r int64, q Point, k, exclude int, h *maxHeap) {
+	// Ring coordinates are computed in int64 and clipped to the occupied box
+	// before narrowing to a map key: center ± r can exceed the int32 range
+	// near the saturation boundary, and an unclipped wraparound would
+	// re-visit occupied cells and push duplicate candidates.
+	visit := func(cx, cy int64) {
+		if cx < int64(g.minCx) || cx > int64(g.maxCx) || cy < int64(g.minCy) || cy > int64(g.maxCy) {
+			return
+		}
+		for _, e := range g.cells[[2]int32{int32(cx), int32(cy)}] {
 			if e.id == exclude {
 				continue
 			}
@@ -253,13 +309,18 @@ func (g *Grid) VisitRect(xlo, xhi, ylo, yhi float64, fn func(id int, p Point)) {
 	if xlo > xhi || ylo > yhi {
 		return
 	}
-	cx0 := int32(math.Floor(xlo / g.cell))
-	cx1 := int32(math.Floor(xhi / g.cell))
-	cy0 := int32(math.Floor(ylo / g.cell))
-	cy1 := int32(math.Floor(yhi / g.cell))
+	cx0 := cellCoord(xlo, g.cell)
+	cx1 := cellCoord(xhi, g.cell)
+	cy0 := cellCoord(ylo, g.cell)
+	cy1 := cellCoord(yhi, g.cell)
 	// When the rectangle spans more cells than there are points, iterating
-	// the point map directly is cheaper.
-	if int64(cx1-cx0+1)*int64(cy1-cy0+1) > int64(len(g.pts)) {
+	// the point map directly is cheaper. The extents are checked individually
+	// before multiplying: each can reach 2³², so their product can overflow
+	// even int64.
+	w := int64(cx1) - int64(cx0) + 1
+	ht := int64(cy1) - int64(cy0) + 1
+	n := int64(len(g.pts))
+	if w > n || ht > n || w*ht > n {
 		// Visit order is unspecified either way (cell-scan order is not id
 		// order), so callers must fold commutatively; CountRect, the only
 		// non-test caller, counts.

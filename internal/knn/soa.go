@@ -1,0 +1,49 @@
+package knn
+
+import "math"
+
+// SoA is a structure-of-arrays view of a 2-D point set: one flat float64
+// array per axis instead of an array of 16-byte Point structs. Linear scans
+// (the brute engine, kd-forest leaf ranges) read two sequential streams the
+// prefetcher handles perfectly, and per-axis work (marginal counts,
+// partitioning) touches half the bytes an AoS scan would.
+//
+// A SoA may either alias caller-owned slices (zero-copy views, as the brute
+// engine does with the estimator's coordinate vectors) or own reusable
+// backing arrays filled by Reset (as the kd-forest's leaf-ordered copies
+// do).
+type SoA struct {
+	Xs, Ys []float64
+}
+
+// Reset fills the SoA from an array-of-structs point set, reusing the
+// backing arrays; a warm SoA refills a same-sized point set without
+// allocating.
+func (s *SoA) Reset(pts []Point) {
+	s.Xs = s.Xs[:0]
+	s.Ys = s.Ys[:0]
+	for _, p := range pts {
+		s.Xs = append(s.Xs, p.X)
+		s.Ys = append(s.Ys, p.Y)
+	}
+}
+
+// Len returns the number of points in the view.
+func (s SoA) Len() int { return len(s.Xs) }
+
+// At returns point i as an AoS Point.
+func (s SoA) At(i int) Point { return Point{X: s.Xs[i], Y: s.Ys[i]} }
+
+// chebyshevCoords is Chebyshev over unpacked coordinates — the SoA hot-loop
+// form, free of struct construction.
+func chebyshevCoords(px, py, qx, qy float64) float64 {
+	// math.Abs is a branchless compiler intrinsic; spelling the absolute
+	// values with sign tests costs two data-dependent branches per call that
+	// mispredict on random input.
+	dx := math.Abs(px - qx)
+	dy := math.Abs(py - qy)
+	if dy > dx {
+		return dy
+	}
+	return dx
+}

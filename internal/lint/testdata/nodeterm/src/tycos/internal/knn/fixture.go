@@ -1,0 +1,61 @@
+// Package knn is a tycoslint fixture impersonating the k-NN engine package
+// (the virtual src root gives it the import path tycos/internal/knn, which
+// is inside the nodeterm scope). It exercises the determinism traps an
+// engine implementation can fall into: registry iteration over a map,
+// wall-clock seeding, and global-RNG tree randomization.
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type spec struct{ name string }
+
+var registry = map[string]spec{}
+
+// namesUnsorted ranges the registry map directly: selection order would
+// change run to run.
+func namesUnsorted() []string {
+	var names []string
+	for name := range registry { // want "map iteration order is nondeterministic"
+		names = append(names, name)
+	}
+	return names
+}
+
+// namesSorted collects then sorts — the registry idiom the real engine
+// layer uses; the post-range sort makes the order deterministic, but the
+// range itself still needs the allowlist with a stated reason.
+func namesSorted() []string {
+	var names []string
+	//lint:allow nodeterm order-insensitive fold: collected names are sorted before use
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// clockSeed seeds a randomized tree from the wall clock: two builds of the
+// same point set would disagree.
+func clockSeed() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// globalShuffle randomizes split axes through the global generator, whose
+// state is shared across the whole process.
+func globalShuffle(axes []int) {
+	rand.Shuffle(len(axes), func(i, j int) { // want "rand.Shuffle uses the global generator"
+		axes[i], axes[j] = axes[j], axes[i]
+	})
+}
+
+// seededShuffle threads an explicit source: deterministic, not flagged.
+func seededShuffle(axes []int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(axes), func(i, j int) {
+		axes[i], axes[j] = axes[j], axes[i]
+	})
+}

@@ -1,0 +1,36 @@
+// Package knn is a seedflow fixture impersonating the k-NN engine package:
+// randomized-tree engines must derive every per-tree seed from the root
+// seed through the SplitMix64 idiom, so that tree t of engine e is the same
+// tree in every run and on every worker.
+package knn
+
+import "math/rand"
+
+// splitmix64 is the finalizer; its name marks it as the derivation primitive.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// forestSeed derives tree t's stream from the engine root seed; the
+// DerivesSeed fact propagates through it.
+func forestSeed(root int64, tree int) int64 {
+	h := splitmix64(uint64(root))
+	return int64(splitmix64(h ^ uint64(tree)))
+}
+
+func derivedTreeRNG(root int64, tree int) *rand.Rand {
+	return rand.New(rand.NewSource(forestSeed(root, tree))) // derived: no finding
+}
+
+// offsetTreeRNG derives per-tree streams by adding the tree index: adjacent
+// roots collide (root 1, tree 0 == root 0, tree 1), so seedflow rejects it.
+func offsetTreeRNG(root int64, tree int) *rand.Rand {
+	return rand.New(rand.NewSource(root + int64(tree))) // want "not derived through the SplitMix64 idiom"
+}
+
+func rawTreeRNG(root int64) *rand.Rand {
+	return rand.New(rand.NewSource(root)) // want "not derived through the SplitMix64 idiom"
+}

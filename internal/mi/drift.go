@@ -1,0 +1,167 @@
+package mi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the bounded-MI-error harness for approximate k-NN engines:
+// it quantifies how far an engine's KSG estimates drift from the exact
+// answer on a fixed differential corpus, and refuses engine configurations
+// whose drift exceeds a caller-set ε. The companion speed measurement lives
+// in cmd/tycosbench (-knn), which runs the same corpus under a wall clock;
+// this package keeps the harness purely deterministic so it can run in tests
+// and under the repo's determinism lint.
+
+// DriftSample is one (x, y) pair of the differential corpus.
+type DriftSample struct {
+	Label string
+	X, Y  []float64
+}
+
+// DriftReport summarizes an engine's MI estimate drift against the exact
+// estimator over a corpus.
+type DriftReport struct {
+	Engine  string `json:"engine"`
+	K       int    `json:"k"`
+	Samples int    `json:"samples"`
+	// MaxAbsDrift is the largest |I_engine − I_exact| in nats observed on
+	// the corpus — the quantity NewBoundedKSG gates on.
+	MaxAbsDrift  float64 `json:"max_abs_drift"`
+	MeanAbsDrift float64 `json:"mean_abs_drift"`
+	// WorstLabel names the corpus sample realising MaxAbsDrift.
+	WorstLabel string `json:"worst_label"`
+}
+
+// splitmix64 is the SplitMix64 finalizer, the repo's seed-derivation idiom;
+// every rand source in this package derives its seed through it.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func driftSeed(root int64, stream int) int64 {
+	h := splitmix64(uint64(root))
+	return int64(splitmix64(h ^ uint64(stream)))
+}
+
+// DriftCorpus generates the differential corpus the bounded-error mode
+// evaluates engines on: bivariate Gaussians across the dependence range,
+// tied lattices (the adversarial case for ε-radius estimators), heavy-tailed
+// marginals, and an independent pair. Deterministic in (seed, m).
+func DriftCorpus(seed int64, m int) []DriftSample {
+	if m < 32 {
+		m = 32
+	}
+	var corpus []DriftSample
+	stream := 0
+	next := func() *rand.Rand {
+		stream++
+		return rand.New(rand.NewSource(driftSeed(seed, stream)))
+	}
+	for _, rho := range []float64{0, 0.3, 0.6, 0.9} {
+		rng := next()
+		x := make([]float64, m)
+		y := make([]float64, m)
+		c := math.Sqrt(1 - rho*rho)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rho*x[i] + c*rng.NormFloat64()
+		}
+		corpus = append(corpus, DriftSample{Label: fmt.Sprintf("gauss(rho=%.1f)", rho), X: x, Y: y})
+	}
+	{
+		// Quantized lattice: heavy coordinate ties stress the closed-interval
+		// marginal counts and the (distance, index) tie-breaks.
+		rng := next()
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = float64(rng.Intn(12)) * 0.25
+			y[i] = float64(rng.Intn(12))*0.25 + 0.5*x[i]
+		}
+		corpus = append(corpus, DriftSample{Label: "lattice", X: x, Y: y})
+	}
+	{
+		// Heavy tails: log-normal marginals with a coupled component, the
+		// regime where kd partitions go lopsided.
+		rng := next()
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for i := range x {
+			g := rng.NormFloat64()
+			x[i] = math.Exp(g)
+			y[i] = math.Exp(0.5*g + 0.5*rng.NormFloat64())
+		}
+		corpus = append(corpus, DriftSample{Label: "lognormal", X: x, Y: y})
+	}
+	return corpus
+}
+
+// MeasureEngineDrift runs the named engine and the exact kd-tree estimator
+// over the corpus and reports the estimate drift. It is purely
+// deterministic — a function of (engine, k, seed, corpus) — so the same
+// configuration always yields the same report. Unknown engines return an
+// error.
+func MeasureEngineDrift(engine string, k int, seed int64, corpus []DriftSample) (DriftReport, error) {
+	approx, err := NewKSGNamed(k, engine, seed)
+	if err != nil {
+		return DriftReport{}, err
+	}
+	exact := NewKSG(k, BackendKDTree)
+	rep := DriftReport{Engine: engine, K: approx.K()}
+	var total float64
+	for _, s := range corpus {
+		want, err := exact.Estimate(s.X, s.Y)
+		if err != nil {
+			return DriftReport{}, fmt.Errorf("mi: drift corpus sample %q: %w", s.Label, err)
+		}
+		got, err := approx.Estimate(s.X, s.Y)
+		if err != nil {
+			return DriftReport{}, fmt.Errorf("mi: drift corpus sample %q: %w", s.Label, err)
+		}
+		d := math.Abs(got - want)
+		total += d
+		rep.Samples++
+		if d > rep.MaxAbsDrift || rep.Samples == 1 {
+			rep.MaxAbsDrift = d
+			rep.WorstLabel = s.Label
+		}
+	}
+	if rep.Samples > 0 {
+		rep.MeanAbsDrift = total / float64(rep.Samples)
+	}
+	return rep, nil
+}
+
+// NewBoundedKSG is the bounded-MI-error constructor: it measures the named
+// engine's drift on the corpus (DriftCorpus(seed, m) when corpus is nil) and
+// refuses the configuration — returning the report alongside the error — if
+// the worst-case |ΔMI| exceeds eps nats. Exact engines pass trivially with a
+// zero report. The returned estimator is freshly constructed and unwarmed;
+// the measurement estimators are discarded.
+func NewBoundedKSG(k int, engine string, seed int64, eps float64, corpus []DriftSample) (*KSG, DriftReport, error) {
+	if !(eps >= 0) {
+		return nil, DriftReport{}, fmt.Errorf("mi: bounded KSG needs eps ≥ 0, got %v", eps)
+	}
+	if corpus == nil {
+		corpus = DriftCorpus(seed, 256)
+	}
+	rep, err := MeasureEngineDrift(engine, k, seed, corpus)
+	if err != nil {
+		return nil, DriftReport{}, err
+	}
+	if rep.MaxAbsDrift > eps {
+		return nil, rep, fmt.Errorf(
+			"mi: engine %q drifts up to %.4g nats on %q (mean %.4g over %d samples), above the ε=%.4g bound",
+			engine, rep.MaxAbsDrift, rep.WorstLabel, rep.MeanAbsDrift, rep.Samples, eps)
+	}
+	est, err := NewKSGNamed(k, engine, seed)
+	if err != nil {
+		return nil, rep, err
+	}
+	return est, rep, nil
+}

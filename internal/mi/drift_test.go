@@ -1,0 +1,194 @@
+package mi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tycos/internal/knn"
+)
+
+// sloppyEngine is a deliberately bad approximate engine registered only from
+// the test binary: it answers every self-query with the lowest-indexed
+// points regardless of distance, so its MI drift is large and the
+// bounded-error refusal path is exercised deterministically.
+type sloppyEngine struct {
+	pts    []knn.Point
+	xs, ys *knn.OrderedMultiset
+	buf    []knn.Neighbor
+}
+
+func (e *sloppyEngine) Build(pts []knn.Point, xs, ys []float64) {
+	e.pts = pts
+	if e.xs == nil {
+		e.xs = knn.NewOrderedMultiset(nil)
+		e.ys = knn.NewOrderedMultiset(nil)
+	}
+	e.xs.Reset(xs)
+	e.ys.Reset(ys)
+}
+
+func (e *sloppyEngine) SelfKNearest(i, k int) []knn.Neighbor {
+	e.buf = e.buf[:0]
+	for j := 0; j < len(e.pts) && len(e.buf) < k; j++ {
+		if j == i {
+			continue
+		}
+		e.buf = append(e.buf, knn.Neighbor{Index: j, Dist: knn.Chebyshev(e.pts[i], e.pts[j])})
+	}
+	return e.buf
+}
+
+func (e *sloppyEngine) CountX(x, d float64) int { return e.xs.CountWithin(x, d) }
+func (e *sloppyEngine) CountY(y, d float64) int { return e.ys.CountWithin(y, d) }
+func (e *sloppyEngine) Len() int                { return len(e.pts) }
+func (e *sloppyEngine) Exact() bool             { return false }
+func (e *sloppyEngine) Name() string            { return "sloppy-test" }
+
+func init() {
+	knn.Register(knn.Spec{Name: "sloppy-test", Exact: false, New: func(knn.Config) knn.Engine {
+		return &sloppyEngine{}
+	}})
+}
+
+// TestMeasureEngineDriftExactZero: exact engines run the same arithmetic as
+// the reference, so their drift is exactly zero on every corpus sample.
+func TestMeasureEngineDriftExactZero(t *testing.T) {
+	corpus := DriftCorpus(17, 128)
+	for _, engine := range []string{"kdtree", "brute", "grid"} {
+		rep, err := MeasureEngineDrift(engine, 4, 17, corpus)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if rep.MaxAbsDrift != 0 {
+			t.Errorf("%s: MaxAbsDrift = %g, want exactly 0", engine, rep.MaxAbsDrift)
+		}
+		if rep.Samples != len(corpus) {
+			t.Errorf("%s: Samples = %d, want %d", engine, rep.Samples, len(corpus))
+		}
+	}
+}
+
+// TestForestDriftBounded pins the approximate backend's quality on the
+// harness corpus: drift within the default ε the bench suite uses (0.15
+// nats), and the bounded constructor accepts it.
+func TestForestDriftBounded(t *testing.T) {
+	est, rep, err := NewBoundedKSG(4, "forest", 42, 0.15, nil)
+	if err != nil {
+		t.Fatalf("NewBoundedKSG(forest): %v (report %+v)", err, rep)
+	}
+	if est == nil || est.Exact() {
+		t.Fatalf("want a non-nil approximate estimator, got %+v", est)
+	}
+	if rep.MaxAbsDrift <= 0 {
+		t.Logf("forest drift is zero on this corpus (budget covers every window)")
+	}
+	if rep.Samples == 0 || rep.MeanAbsDrift > rep.MaxAbsDrift {
+		t.Fatalf("inconsistent report: %+v", rep)
+	}
+}
+
+// TestNewBoundedKSGRefuses: a sloppy engine must be refused at any
+// realistic ε, with the report carried alongside the error.
+func TestNewBoundedKSGRefuses(t *testing.T) {
+	corpus := DriftCorpus(7, 128)
+	est, rep, err := NewBoundedKSG(4, "sloppy-test", 7, 0.01, corpus)
+	if err == nil {
+		t.Fatalf("want refusal, got estimator %v (report %+v)", est.Name(), rep)
+	}
+	if est != nil {
+		t.Fatal("refusal must not return an estimator")
+	}
+	if rep.MaxAbsDrift <= 0.01 || rep.WorstLabel == "" {
+		t.Fatalf("refusal report should localize the drift: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "sloppy-test") {
+		t.Fatalf("error should name the engine: %v", err)
+	}
+	// The same engine passes under an absurdly loose bound — the gate is the
+	// caller's ε, not a hardcoded threshold.
+	if _, _, err := NewBoundedKSG(4, "sloppy-test", 7, math.Inf(1), corpus); err != nil {
+		t.Fatalf("infinite ε must accept: %v", err)
+	}
+}
+
+// TestNewBoundedKSGErrors pins the argument-validation paths.
+func TestNewBoundedKSGErrors(t *testing.T) {
+	if _, _, err := NewBoundedKSG(4, "no-such-engine", 1, 0.1, nil); err == nil {
+		t.Error("want error for unknown engine")
+	}
+	if _, _, err := NewBoundedKSG(4, "forest", 1, -0.5, nil); err == nil {
+		t.Error("want error for negative eps")
+	}
+	if _, _, err := NewBoundedKSG(4, "forest", 1, math.NaN(), nil); err == nil {
+		t.Error("want error for NaN eps")
+	}
+}
+
+// TestDriftCorpusDeterministic: the corpus is a pure function of its seed.
+func TestDriftCorpusDeterministic(t *testing.T) {
+	a := DriftCorpus(5, 64)
+	b := DriftCorpus(5, 64)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("labels differ at %d", i)
+		}
+		for j := range a[i].X {
+			if a[i].X[j] != b[i].X[j] || a[i].Y[j] != b[i].Y[j] {
+				t.Fatalf("sample %q diverges at %d", a[i].Label, j)
+			}
+		}
+	}
+	c := DriftCorpus(6, 64)
+	same := true
+	for i := range a {
+		for j := range a[i].X {
+			if a[i].X[j] != c[i].X[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestNewKSGNamedMatchesBackend: the named constructor over an exact engine
+// is byte-identical to the legacy Backend constructor.
+func TestNewKSGNamedMatchesBackend(t *testing.T) {
+	corpus := DriftCorpus(3, 200)
+	for _, name := range []string{"kdtree", "brute", "grid"} {
+		named, err := NewKSGNamed(4, name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var legacy *KSG
+		switch name {
+		case "kdtree":
+			legacy = NewKSG(4, BackendKDTree)
+		case "brute":
+			legacy = NewKSG(4, BackendBrute)
+		case "grid":
+			legacy = NewKSG(4, BackendGrid)
+		}
+		for _, s := range corpus {
+			a, err := named.Estimate(s.X, s.Y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := legacy.Estimate(s.X, s.Y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%s/%s: named %v != legacy %v", name, s.Label, a, b)
+			}
+		}
+		if named.EngineName() != name {
+			t.Fatalf("EngineName = %q, want %q", named.EngineName(), name)
+		}
+	}
+}

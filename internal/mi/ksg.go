@@ -35,6 +35,21 @@ func (b Backend) String() string {
 	}
 }
 
+// EngineNames returns the registered k-NN engine names in sorted order —
+// re-exported so layers above (core option validation, CLI flag help) can
+// enumerate backends without importing internal/knn directly.
+func EngineNames() []string { return knn.EngineNames() }
+
+// HasEngine reports whether a k-NN engine is registered under name.
+func HasEngine(name string) bool { return knn.HasEngine(name) }
+
+// EngineExact reports whether the named engine answers queries exactly
+// (false for approximate backends, and for unknown names).
+func EngineExact(name string) bool {
+	s, ok := knn.EngineSpec(name)
+	return ok && s.Exact
+}
+
 // KSG is the Kraskov–Stögbauer–Grassberger estimator, algorithm 2 (the
 // variant the paper uses in Eq. (2)/(3)): per point, the distance to its
 // k-th nearest neighbour under L∞ is projected on each axis, the marginal
@@ -57,23 +72,22 @@ func (b Backend) String() string {
 // The zero value is not usable; construct with NewKSG.
 //
 // A KSG carries a work counter (Estimates) and per-instance reusable scratch
-// (the point buffer, k-NN index arena and ordered-multiset backing arrays
-// persist across Estimate calls, making the steady state allocation-free).
-// It is therefore not safe for concurrent use; every searcher owns its own
-// instance.
+// (the point buffer and the engine's internal arenas persist across Estimate
+// calls, making the steady state allocation-free). It is therefore not safe
+// for concurrent use; every searcher owns its own instance.
+//
+// The k-NN structure behind Estimate is a knn.Engine selected by name; the
+// legacy Backend constants map onto the exact engines, and NewKSGNamed
+// selects any registered engine — including approximate ones, whose MI drift
+// the bounded-error constructor (NewBoundedKSG) quantifies and gates.
 type KSG struct {
 	k         int
-	backend   Backend
+	display   string
+	engine    knn.Engine
 	estimates int
 
 	// Reusable scratch, grown on first use and retained across calls.
-	pts   []knn.Point
-	nn    []knn.Neighbor
-	tree  *knn.KDTree
-	brute *knn.Brute
-	grid  *knn.Grid
-	xs    *knn.OrderedMultiset
-	ys    *knn.OrderedMultiset
+	pts []knn.Point
 }
 
 // DefaultK is the nearest-neighbour count used when none is specified; k=4
@@ -81,19 +95,52 @@ type KSG struct {
 const DefaultK = 4
 
 // NewKSG returns a KSG estimator with the given neighbour count (k ≥ 1;
-// values below 1 become DefaultK) and backend.
+// values below 1 become DefaultK) and backend. Unknown Backend values fall
+// back to the kd-tree, as the pre-engine backend switch did.
 func NewKSG(k int, backend Backend) *KSG {
 	if k < 1 {
 		k = DefaultK
 	}
-	return &KSG{k: k, backend: backend}
+	display := backend.String()
+	name := display
+	if !knn.HasEngine(name) {
+		name = "kdtree"
+	}
+	eng, err := knn.NewEngine(name, knn.Config{K: k})
+	if err != nil {
+		panic(err) // unreachable: name is registered
+	}
+	return &KSG{k: k, display: display, engine: eng}
+}
+
+// NewKSGNamed returns a KSG estimator backed by the named k-NN engine from
+// the registry (mi.EngineNames lists them). seed drives randomized engines
+// (tree shapes in the kd-forest); exact engines ignore it. Unknown names
+// return an error rather than falling back — a caller selecting an engine
+// by name wants that engine or a loud failure.
+func NewKSGNamed(k int, engine string, seed int64) (*KSG, error) {
+	if k < 1 {
+		k = DefaultK
+	}
+	eng, err := knn.NewEngine(engine, knn.Config{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &KSG{k: k, display: engine, engine: eng}, nil
 }
 
 // Name implements Estimator.
-func (e *KSG) Name() string { return fmt.Sprintf("ksg(k=%d,%s)", e.k, e.backend) }
+func (e *KSG) Name() string { return fmt.Sprintf("ksg(k=%d,%s)", e.k, e.display) }
 
 // K returns the configured neighbour count.
 func (e *KSG) K() int { return e.k }
+
+// EngineName returns the name of the k-NN engine answering the queries.
+func (e *KSG) EngineName() string { return e.engine.Name() }
+
+// Exact reports whether the underlying engine answers exactly (kd-tree,
+// brute, grid) or approximately (kd-forest under budget).
+func (e *KSG) Exact() bool { return e.engine.Exact() }
 
 // Estimate implements Estimator. It requires len(x) > k.
 func (e *KSG) Estimate(x, y []float64) (float64, error) {
@@ -109,53 +156,27 @@ func (e *KSG) Estimate(x, y []float64) (float64, error) {
 		e.pts = append(e.pts, knn.Point{X: x[i], Y: y[i]})
 	}
 	pts := e.pts
-	var index knn.Index
-	switch e.backend {
-	case BackendBrute:
-		if e.brute == nil {
-			e.brute = knn.NewBrute(nil)
-		}
-		e.brute.Reset(pts)
-		index = e.brute
-	case BackendGrid:
-		if e.grid == nil {
-			e.grid = knn.NewGrid(1)
-		}
-		e.grid.Reset(knn.GridCellFor(pts, e.k))
-		for i, p := range pts {
-			e.grid.Insert(i, p)
-		}
-		index = e.grid
-	default:
-		if e.tree == nil {
-			e.tree = knn.NewKDTree(nil)
-		}
-		e.tree.Reset(pts)
-		index = e.tree
-	}
-	// Sorted marginals make the n_x, n_y interval counts O(log m).
-	if e.xs == nil {
-		e.xs = knn.NewOrderedMultiset(nil)
-		e.ys = knn.NewOrderedMultiset(nil)
-	}
-	e.xs.Reset(x)
-	e.ys.Reset(y)
+	// One Build per estimate: the engine re-indexes the window reusing its
+	// arenas (and its sorted marginals, which make the n_x, n_y interval
+	// counts O(log m)). The exact engines execute the same operations the
+	// pre-engine backend switch did, in the same order, so exact-path
+	// estimates are byte-identical to before the engine layer existed.
+	e.engine.Build(pts, x, y)
 
 	var sum float64
 	for i := 0; i < m; i++ {
-		nn := index.KNearestInto(pts[i], e.k, i, e.nn)
-		e.nn = nn[:0]
+		nn := e.engine.SelfKNearest(i, e.k)
 		dx, dy := marginalRadii(pts[i], pts, nn)
 		// The closed-interval counts include the query's own coordinate;
 		// subtracting it yields Kraskov's n_x, n_y (Eq. (9) counts exclude
 		// the point itself). The floor is defensive only: in exact arithmetic
 		// the k-th-NN projection keeps n_x, n_y ≥ 1, but fp boundary rounding
 		// on degenerate data could leave just the query in its interval.
-		nx := e.xs.CountWithin(x[i], dx) - 1
+		nx := e.engine.CountX(x[i], dx) - 1
 		if nx < 1 {
 			nx = 1
 		}
-		ny := e.ys.CountWithin(y[i], dy) - 1
+		ny := e.engine.CountY(y[i], dy) - 1
 		if ny < 1 {
 			ny = 1
 		}
